@@ -1,0 +1,44 @@
+"""The paper's Section V extensions / future-work directions.
+
+* ``B > b``: a larger trailing-update block size.  The paper's
+  prediction: fewer tasks and better BLAS3 use pay off when the
+  scheduling overhead matters; at B too large, parallelism is lost.
+* Hybrid update: "combining a fast panel factorization as in CALU with
+  a highly optimized update of the trailing matrix as in MKL_dgetrf can
+  lead to a more efficient algorithm for square matrices."
+"""
+
+from repro.bench.experiments import bb_extension, hybrid_update
+from repro.machine.presets import intel8_mkl
+
+
+def test_bb_extension_baseline(benchmark, save_result):
+    t = benchmark.pedantic(bb_extension, rounds=1, iterations=1)
+    save_result("extension_bb", t.format())
+    # At the default (calibrated, modest) scheduling overhead, B = b is
+    # near-optimal and very large B loses parallelism.
+    for n in t.row_labels:
+        assert t.cell(n, "B=100") > t.cell(n, "B=800")
+
+
+def test_bb_extension_pays_off_under_overhead(benchmark, save_result):
+    mach = intel8_mkl(task_overhead_us=160.0)
+
+    def run():
+        return bb_extension(machine=mach, sizes=(2000,))
+
+    t = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("extension_bb_overhead", t.format())
+    # The paper's prediction: with costly scheduling, coarser updates win.
+    assert t.cell("2000", "B=200") > t.cell("2000", "B=100")
+
+
+def test_hybrid_update(benchmark, save_result):
+    t = benchmark.pedantic(hybrid_update, rounds=1, iterations=1)
+    save_result("extension_hybrid", t.format())
+    for n in t.row_labels:
+        # Hybrid never loses to plain CALU...
+        assert t.cell(n, "hybrid(Tr=4)") >= t.cell(n, "CALU(Tr=4)") * 0.999
+    # ...and realizes the paper's conjecture at large sizes: at 5000 the
+    # hybrid beats the pure vendor library.
+    assert t.cell("5000", "hybrid(Tr=4)") > t.cell("5000", "MKL_dgetrf")

@@ -1,0 +1,17 @@
+"""Figures 3-4: CALU execution diagrams, Tr=1 vs Tr=8 (1e5 x 1000, b=100).
+
+Paper claim: with Tr=1 the panel factorization leaves cores idle; with
+Tr=8 "except the very beginning and the very end of the algorithm,
+there is no idle time and all the cores are kept busy".
+"""
+
+from repro.bench.experiments import fig3_fig4
+
+
+def test_fig3_fig4(benchmark, save_result):
+    pair = benchmark.pedantic(fig3_fig4, rounds=1, iterations=1)
+    save_result("fig3_fig4", pair.format())
+    # The paper's qualitative claims, quantified:
+    assert pair.idle_tr1 > 0.3, "Tr=1 must show substantial idle time"
+    assert pair.idle_tr8 < 0.10, "Tr=8 must keep all cores busy"
+    assert pair.gflops_tr8 > 2.0 * pair.gflops_tr1

@@ -1,0 +1,30 @@
+"""Figure 6: LU GFLOP/s on tall-skinny matrices, m=1e6, Intel 8-core model.
+
+Paper claims checked: the headline speedups — CALU(Tr=8) up to ~2.3x
+over MKL_dgetrf (best near n=500), ~10x over MKL_dgetf2 at n=100
+(8.3x for Tr=4), and ~4x over dgetf2 / 2x over dgetrf already at n=25.
+"""
+
+from repro.bench.experiments import fig6
+
+
+def test_fig6(benchmark, save_result):
+    t = benchmark.pedantic(fig6, rounds=1, iterations=1)
+    save_result("fig6", t.format())
+
+    calu8 = dict(zip(t.row_labels, t.column("CALU(Tr=8)")))
+    calu4 = dict(zip(t.row_labels, t.column("CALU(Tr=4)")))
+    getrf = dict(zip(t.row_labels, t.column("MKL_dgetrf")))
+    getf2 = dict(zip(t.row_labels, t.column("MKL_dgetf2")))
+
+    # Headline: ~2.3x over dgetrf at n=500 (accept 1.7-3x).
+    assert 1.7 < calu8["500"] / getrf["500"] < 3.0
+
+    # ~10x over dgetf2 at n=100 (Tr=8), ~8.3x at Tr=4 (accept 6-14x).
+    assert 6.0 < calu8["100"] / getf2["100"] < 14.0
+    assert 5.0 < calu4["100"] / getf2["100"] < 12.0
+    assert calu8["100"] > calu4["100"]
+
+    # n=25: ~4x over dgetf2 and ~2x over dgetrf (accept generous bands).
+    assert calu8["25"] / getf2["25"] > 2.5
+    assert calu8["25"] / getrf["25"] > 1.3

@@ -1,0 +1,62 @@
+"""Real-time benchmarks of the full numeric factorizations.
+
+Moderate sizes (the host is not the paper's testbed — paper-scale
+performance is reproduced by the simulated benchmarks instead); these
+track the wall-clock health of the numeric code paths end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tiled_lu import tiled_lu
+from repro.baselines.tiled_qr import tiled_qr
+from repro.core.calu import calu
+from repro.core.caqr import caqr
+from repro.core.trees import TreeKind
+from repro.core.tslu import tslu
+from repro.core.tsqr import tsqr
+
+
+@pytest.fixture(scope="module")
+def square():
+    return np.random.default_rng(0).standard_normal((384, 384))
+
+
+@pytest.fixture(scope="module")
+def tall():
+    return np.random.default_rng(1).standard_normal((8000, 64))
+
+
+def test_calu_square(benchmark, square):
+    f = benchmark(lambda: calu(square, b=64, tr=4))
+    assert np.isfinite(f.lu).all()
+
+
+def test_caqr_square(benchmark, square):
+    f = benchmark(lambda: caqr(square, b=64, tr=4))
+    assert np.isfinite(f.packed).all()
+
+
+def test_tslu_tall(benchmark, tall):
+    lu, piv = benchmark(lambda: tslu(tall, tr=8))
+    assert len(piv) == 64
+
+
+def test_tsqr_tall_flat(benchmark, tall):
+    f = benchmark(lambda: tsqr(tall, tr=8, tree=TreeKind.FLAT))
+    assert f.R.shape == (64, 64)
+
+
+def test_tsqr_tall_binary(benchmark, tall):
+    f = benchmark(lambda: tsqr(tall, tr=8, tree=TreeKind.BINARY))
+    assert f.R.shape == (64, 64)
+
+
+def test_tiled_lu_square(benchmark, square):
+    f = benchmark(lambda: tiled_lu(square, nb=64))
+    assert np.isfinite(f.packed).all()
+
+
+def test_tiled_qr_square(benchmark, square):
+    f = benchmark(lambda: tiled_qr(square, nb=64))
+    assert np.isfinite(f.packed).all()

@@ -1,0 +1,34 @@
+"""Table I: LU GFLOP/s on square matrices, Intel 8-core model.
+
+Paper claims checked: MKL_dgetrf wins for m=n < 5000 and the gap closes
+as the size grows (CALU within a few percent at 10^4, where the paper's
+CALU(Tr=2) slightly edges MKL); CALU outperforms PLASMA from n > 3000;
+Tr > 1 beats Tr = 1.
+"""
+
+from repro.bench.experiments import table1
+
+
+def test_table1(benchmark, save_result):
+    t = benchmark.pedantic(table1, rounds=1, iterations=1)
+    save_result("table1", t.format())
+
+    mkl = dict(zip(t.row_labels, t.column("MKL_dgetrf")))
+    plasma = dict(zip(t.row_labels, t.column("PLASMA_dgetrf")))
+    calu4 = dict(zip(t.row_labels, t.column("CALU(Tr=4)")))
+    calu2 = dict(zip(t.row_labels, t.column("CALU(Tr=2)")))
+    calu1 = dict(zip(t.row_labels, t.column("CALU(Tr=1)")))
+
+    # MKL wins at small square sizes...
+    for n in ("1000", "2000", "3000"):
+        assert mkl[n] > calu4[n]
+    # ...but the gap closes with size: near-parity at 5000 and CALU(Tr=2)
+    # edging MKL at 10^4, the paper's crossover.
+    assert mkl["5000"] / calu2["5000"] < 1.05
+    assert calu2["10000"] >= mkl["10000"] * 0.99
+    assert (mkl["1000"] / calu4["1000"]) > (mkl["10000"] / calu4["10000"])
+
+    # CALU > PLASMA for n > 3000 (paper), and Tr>1 helps.
+    for n in ("4000", "5000", "10000"):
+        assert calu4[n] > plasma[n]
+        assert calu2[n] > calu1[n]

@@ -1,0 +1,32 @@
+"""Table II: LU GFLOP/s on square matrices, AMD 16-core model.
+
+Paper claims checked: ACML_dgetrf is faster than CALU for m=n <= 2000,
+CALU outperforms ACML from m=n >= 3000, and CALU is at least on par
+with PLASMA at every size on this machine.
+"""
+
+from repro.bench.experiments import table2
+
+
+def test_table2(benchmark, save_result):
+    t = benchmark.pedantic(table2, rounds=1, iterations=1)
+    save_result("table2", t.format())
+
+    acml = dict(zip(t.row_labels, t.column("ACML_dgetrf")))
+    plasma = dict(zip(t.row_labels, t.column("PLASMA_dgetrf")))
+    best_calu = {
+        n: max(
+            t.cell(n, f"CALU(Tr={tr})") for tr in (1, 2, 4, 8, 16)
+        )
+        for n in t.row_labels
+    }
+
+    # ACML wins small, CALU wins from 3000 (paper's crossover).
+    assert acml["1000"] > best_calu["1000"]
+    assert acml["2000"] > best_calu["2000"] * 0.95
+    for n in ("3000", "4000", "5000"):
+        assert best_calu[n] > acml[n]
+
+    # CALU at least competitive with PLASMA everywhere on this machine.
+    for n in t.row_labels:
+        assert best_calu[n] > plasma[n] * 0.95

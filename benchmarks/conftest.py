@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper-artifact benchmark writes its formatted table to
+``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the regenerated tables on disk next to
+the timing report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Callable fixture: ``save_result(name, formatted_text)``."""
+
+    def _save(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,56 @@
+"""Block-vector orthogonalization with TSQR inside an iterative method.
+
+The paper motivates TSQR with "a set of vectors needs to be
+orthogonalized as in block iterative methods".  This example runs a
+block power iteration (subspace iteration) for the dominant eigenspace
+of a large sparse-ish operator, re-orthogonalizing the block at every
+step with TSQR instead of modified Gram-Schmidt: one reduction over row
+chunks per iteration instead of one synchronization per column.
+
+Run:  python examples/block_orthogonalization.py
+"""
+
+import numpy as np
+
+from repro.core.tsqr import tsqr
+from repro.core.trees import TreeKind
+
+
+def make_operator(n: int, seed: int = 0):
+    """A fast symmetric operator with a known dominant eigenspace."""
+    rng = np.random.default_rng(seed)
+    # Diagonal-plus-low-rank: eigenvalues 10, 9, 8 dominate a [0,1) bulk.
+    U, _ = np.linalg.qr(rng.standard_normal((n, 3)))
+    d = rng.random(n)
+
+    def matvec_block(X: np.ndarray) -> np.ndarray:
+        return d[:, None] * X + U @ (np.diag([10.0, 9.0, 8.0]) - np.diag(d @ U**2)) @ (U.T @ X)
+
+    return matvec_block, U
+
+
+def subspace_iteration(n: int = 50_000, k: int = 6, iters: int = 15) -> None:
+    op, U_true = make_operator(n)
+    rng = np.random.default_rng(1)
+    X = rng.standard_normal((n, k))
+
+    for it in range(iters):
+        X = op(X)
+        # TSQR re-orthogonalization: the panel is n x k (50000 x 6).
+        f = tsqr(X, tr=8, tree=TreeKind.FLAT)
+        X = f.q_explicit()
+        if (it + 1) % 5 == 0:
+            # Rayleigh-Ritz estimate of the top eigenvalues.
+            H = X.T @ op(X)
+            ritz = np.sort(np.linalg.eigvalsh(H))[::-1]
+            print(f"iter {it + 1:2d}: top Ritz values {np.round(ritz[:3], 4)}")
+
+    # Convergence check against the known dominant space.
+    overlap = np.linalg.svd(U_true.T @ X[:, :3], compute_uv=False)
+    print("principal-angle cosines vs true space:", np.round(overlap, 6))
+    orth = np.linalg.norm(X.T @ X - np.eye(k))
+    print("block orthogonality ||X^T X - I||    :", orth)
+
+
+if __name__ == "__main__":
+    subspace_iteration()

@@ -1,0 +1,53 @@
+"""Calibrate the performance model to THIS machine and check its predictions.
+
+The paper presets reproduce published shapes; this example shows the
+model's other role — predicting real hosts.  It measures the numeric
+kernels here, fits a host MachineModel, then compares the simulator's
+predicted CALU time against an actual wall-clock numeric run.
+
+Run:  python examples/calibrate_and_predict.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.flops import lu_flops
+from repro.bench.methods import simulate_lu
+from repro.core.calu import calu
+from repro.machine.calibrate import calibrate_host, measure_kernel_rates
+
+
+def main() -> None:
+    print("measuring kernel rates on this host...")
+    rates = measure_kernel_rates(dims=(16, 32, 64), rows=1024)
+    for kernel, samples in rates.items():
+        pts = ", ".join(f"d={s.dim}: {s.gflops:.2f}" for s in samples)
+        print(f"  {kernel:<8} {pts}  GFLOP/s")
+
+    # On this CI-style box we calibrate a 1-core model so prediction and
+    # the (sequentially executed) numeric run are comparable.
+    mach = calibrate_host(cores=1, dims=(16, 32, 64), rows=1024)
+    print(f"\nfitted model: peak {mach.peak_core_gflops:.2f} GFLOP/s/core, "
+          f"gemm eff {mach.profiles['gemm'].eff:.2f} "
+          f"(half-dim {mach.profiles['gemm'].half_dim:.0f})")
+
+    m, n, b, tr = 2000, 400, 64, 4
+    predicted = simulate_lu("calu", m, n, mach, b=b, tr=tr)
+    t_pred = lu_flops(m, n) / predicted.gflops / 1e9
+
+    A = np.random.default_rng(0).standard_normal((m, n))
+    t0 = time.perf_counter()
+    calu(A, b=b, tr=tr)
+    t_real = time.perf_counter() - t0
+
+    print(f"\nCALU of {m} x {n} (b={b}, Tr={tr}):")
+    print(f"  predicted: {t_pred * 1e3:8.1f} ms  ({predicted.gflops:.2f} GFLOP/s)")
+    print(f"  measured : {t_real * 1e3:8.1f} ms  ({lu_flops(m, n) / t_real / 1e9:.2f} GFLOP/s)")
+    ratio = max(t_pred, t_real) / min(t_pred, t_real)
+    print(f"  model-vs-reality factor: {ratio:.2f}x "
+          f"({'good' if ratio < 3 else 'rough'} for a first-principles model)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Compare pivoting strategies: tournament (CALU) vs partial (GEPP) vs
+incremental (PLASMA tiles).
+
+The paper's stability claim: ca-pivoting behaves like partial pivoting
+in practice, while the tiled algorithms' incremental pivoting gives up
+stability as the tile count grows.  This example measures element
+growth and solve accuracy on random and adversarial matrices.
+
+Run:  python examples/pivoting_stability.py
+"""
+
+import numpy as np
+import scipy.linalg
+
+from repro.analysis.errors import growth_factor
+from repro.baselines.tiled_lu import tiled_lu
+from repro.bench.workloads import ill_conditioned
+from repro.core.calu import calu
+
+
+def growth_study(n: int = 256, trials: int = 5) -> None:
+    rng = np.random.default_rng(0)
+    print(f"element growth on {trials} random {n}x{n} matrices (smaller = more stable):")
+    rows = []
+    for _ in range(trials):
+        A = rng.standard_normal((n, n))
+        _, _, U = scipy.linalg.lu(A)
+        rows.append(
+            (
+                growth_factor(A, U),
+                growth_factor(A, calu(A, b=n // 8, tr=8).U),
+                growth_factor(A, tiled_lu(A, nb=n // 16).U),
+            )
+        )
+    rows = np.array(rows)
+    for label, col in zip(("GEPP", "CALU (tournament)", "tiled (incremental)"), rows.T):
+        print(f"  {label:<22} mean {col.mean():6.1f}   max {col.max():6.1f}")
+
+
+def accuracy_study(n: int = 200) -> None:
+    print(f"\nsolve accuracy on an ill-conditioned {n}x{n} system (cond=1e10):")
+    A = ill_conditioned(n, n, cond=1e10, seed=3)
+    x_true = np.random.default_rng(4).standard_normal(n)
+    rhs = A @ x_true
+    for label, x in (
+        ("GEPP (scipy)", scipy.linalg.solve(A, rhs)),
+        ("CALU", calu(A, b=n // 8, tr=8).solve(rhs)),
+        ("tiled", tiled_lu(A, nb=n // 8).solve(rhs)),
+    ):
+        rel = np.linalg.norm(x - x_true) / np.linalg.norm(x_true)
+        print(f"  {label:<14} relative error {rel:.3e}")
+
+
+if __name__ == "__main__":
+    growth_study()
+    accuracy_study()

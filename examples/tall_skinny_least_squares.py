@@ -1,0 +1,42 @@
+"""Least-squares fitting with TSQR — the tall-skinny workload the paper targets.
+
+Fits a degree-8 polynomial to 100,000 noisy samples.  The design matrix
+is 100000 x 9: exactly the extreme aspect ratio where TSQR beats
+classic blocked QR by large factors (paper Figure 8), because the whole
+solve is one reduction over row chunks instead of 9 global
+synchronizations per panel column.
+
+Run:  python examples/tall_skinny_least_squares.py
+"""
+
+import numpy as np
+
+from repro.bench.workloads import vandermonde_ls
+from repro.core.tsqr import tsqr
+from repro.core.trees import TreeKind
+
+
+def main() -> None:
+    m, degree = 100_000, 8
+    A, rhs, coeffs_true = vandermonde_ls(m, degree, seed=42)
+    print(f"design matrix: {A.shape[0]} x {A.shape[1]} (tall and skinny)")
+
+    # Factor once with a flat reduction tree (the paper's best shape on
+    # shared memory), then solve.
+    f = tsqr(A, tr=8, tree=TreeKind.FLAT)
+    x = f.solve_ls(rhs)
+
+    x_ref = np.linalg.lstsq(A, rhs, rcond=None)[0]
+    print("max |coef - lstsq|  :", np.abs(x - x_ref).max())
+    print("max |coef - truth|  :", np.abs(x - coeffs_true).max())
+    print("residual norm       :", np.linalg.norm(A @ x - rhs))
+
+    # The implicit Q is reusable: solve for a second right-hand side
+    # without refactoring (e.g. another observable over the same design).
+    rhs2 = A @ np.arange(degree + 1, dtype=float) + 1e-8
+    x2 = f.solve_ls(rhs2)
+    print("second rhs recovered:", np.round(x2, 6)[:4], "...")
+
+
+if __name__ == "__main__":
+    main()

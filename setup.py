@@ -1,0 +1,16 @@
+"""Shim for legacy editable installs (offline environments without `wheel`).
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    python_requires=">=3.10",
+)

@@ -1,0 +1,84 @@
+"""Closed-form communication analysis (the paper's Section II claims).
+
+The communication-avoiding argument in numbers: factoring one
+``m x b`` panel with ``Tr`` participants costs
+
+* classic partial pivoting — one max-reduction per column:
+  ``b * ceil(log2 Tr)`` messages;
+* TSLU/TSQR with a binary tree — one exchange per level:
+  ``ceil(log2 Tr)`` messages (optimal in parallel);
+* TSLU/TSQR with a flat tree — one gather: ``Tr - 1`` messages into a
+  single synchronization step (optimal sequentially; on shared memory
+  "an efficient alternative").
+
+These functions give message/word counts for panels and for whole
+factorizations, used by the analysis tests to validate the simulator's
+counted synchronizations and by users sizing reduction trees.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.trees import TreeKind, tree_height
+
+__all__ = [
+    "panel_messages_classic",
+    "panel_messages_ca",
+    "panel_words_ca",
+    "factorization_messages_classic",
+    "factorization_messages_ca",
+    "sync_reduction_factor",
+]
+
+
+def panel_messages_classic(b: int, tr: int) -> int:
+    """Synchronizations for a partial-pivoting panel: one per column.
+
+    Each of the ``b`` columns needs a max-reduction over the ``Tr``
+    participants (``ceil(log2 Tr)`` exchanges) before the rank-1 update.
+    """
+    if tr <= 1:
+        return 0
+    return b * math.ceil(math.log2(tr))
+
+
+def panel_messages_ca(tr: int, tree: TreeKind = TreeKind.BINARY, arity: int = 4) -> int:
+    """Synchronization steps for a TSLU/TSQR panel: the tree height."""
+    return tree_height(tr, tree, arity)
+
+
+def panel_words_ca(b: int, tr: int, tree: TreeKind = TreeKind.BINARY, arity: int = 4) -> int:
+    """Words exchanged by a TSLU/TSQR panel reduction.
+
+    Each merge moves one ``b x b`` candidate set (LU) or ``R`` factor
+    (QR); any tree shape performs exactly ``Tr - 1`` merges.
+    """
+    if tr <= 1:
+        return 0
+    return (tr - 1) * b * b
+
+
+def factorization_messages_classic(n: int, b: int, tr: int) -> int:
+    """Panel synchronizations over a full classic factorization."""
+    return (n // b) * panel_messages_classic(b, tr)
+
+
+def factorization_messages_ca(
+    n: int, b: int, tr: int, tree: TreeKind = TreeKind.BINARY, arity: int = 4
+) -> int:
+    """Panel synchronizations over a full CALU/CAQR factorization."""
+    return (n // b) * panel_messages_ca(tr, tree, arity)
+
+
+def sync_reduction_factor(b: int, tr: int, tree: TreeKind = TreeKind.BINARY) -> float:
+    """How many fewer panel synchronizations CA needs vs classic.
+
+    ``b`` for a binary tree (the paper's headline: ``O(log2 Tr)``
+    instead of ``O(b log2 Tr)``), larger still for a flat tree.
+    """
+    classic = panel_messages_classic(b, tr)
+    ca = panel_messages_ca(tr, tree)
+    if ca == 0:
+        return float("inf") if classic > 0 else 1.0
+    return classic / ca

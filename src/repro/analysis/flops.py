@@ -1,0 +1,137 @@
+"""Closed-form floating-point operation counts.
+
+Used in three roles:
+
+* builders attach these to task :class:`~repro.runtime.task.Cost`
+  descriptors so the simulated machine can price paper-scale problems;
+* the benchmark harness converts simulated makespans into GFLOP/s with
+  the *standard* algorithm counts (``2/3 n³`` for LU, ``2mn² - 2n³/3``
+  for QR), matching how the paper normalizes its plots — the extra
+  flops communication-avoiding algorithms perform are charged as time
+  but not credited as useful work;
+* tests cross-check the kernels' runtime flop counters against them.
+
+All counts are leading-order LAPACK conventions for real double
+precision (a multiply-add pair is two flops).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "gemm_flops",
+    "trsm_left_flops",
+    "trsm_right_flops",
+    "lu_panel_flops",
+    "lu_flops",
+    "qr_panel_flops",
+    "qr_flops",
+    "larfb_flops",
+    "tpqrt_ts_flops",
+    "tpqrt_tt_flops",
+    "tpmqrt_flops",
+    "tstrf_flops",
+    "ssssm_flops",
+    "tslu_extra_flops",
+    "tsqr_tree_flops",
+]
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """``C (m x n) -= A (m x k) @ B (k x n)``."""
+    return 2.0 * m * n * k
+
+
+def trsm_left_flops(k: int, n: int) -> float:
+    """Unit-lower left solve of ``k x k`` against ``k x n`` (task U)."""
+    return float(k) * (k - 1) * n
+
+
+def trsm_right_flops(m: int, k: int) -> float:
+    """Upper right solve of ``m x k`` against ``k x k`` (task L)."""
+    return float(m) * k * k
+
+
+def lu_panel_flops(m: int, n: int) -> float:
+    """GEPP of an ``m x n`` panel (``m >= n``): ``m n² - n³/3``."""
+    return float(m) * n * n - n**3 / 3.0
+
+
+def lu_flops(m: int, n: int) -> float:
+    """Standard LU count for an ``m x n`` matrix (``n³·2/3`` when square).
+
+    ``m n² - n³/3`` for ``m >= n`` — the normalization the paper's
+    GFLOP/s plots use for ``dgetrf``-class routines.
+    """
+    if m >= n:
+        return float(m) * n * n - n**3 / 3.0
+    return float(n) * m * m - m**3 / 3.0
+
+
+def qr_panel_flops(m: int, n: int) -> float:
+    """Householder QR of an ``m x n`` panel (``m >= n``): ``2mn² - 2n³/3``."""
+    return 2.0 * m * n * n - 2.0 * n**3 / 3.0
+
+
+def qr_flops(m: int, n: int) -> float:
+    """Standard Householder QR count (factor only): ``2mn² - 2n³/3``."""
+    if m >= n:
+        return 2.0 * m * n * n - 2.0 * n**3 / 3.0
+    return 2.0 * n * m * m - 2.0 * m**3 / 3.0
+
+
+def larfb_flops(m: int, n: int, k: int) -> float:
+    """Apply a ``k``-reflector block to ``m x n``: ``4mnk`` (+ ``k²n``)."""
+    return 4.0 * m * n * k + float(k) * k * n
+
+
+def tpqrt_ts_flops(m: int, b: int) -> float:
+    """Triangular-on-top QR with a dense ``m x b`` bottom: ``~3mb²``.
+
+    ``2mb²`` for the reflections plus ``mb²`` for accumulating ``T``.
+    """
+    return 3.0 * m * b * b
+
+
+def tpqrt_tt_flops(b: int) -> float:
+    """Triangular-triangular merge (TSQR tree node): ``~(5/3) b³``.
+
+    ``2b³/3`` for the structured reflections plus ``b³`` for
+    accumulating ``T`` (``2b³/3`` for the ``V^T v`` products and
+    ``b³/3`` for the triangular multiplies).
+    """
+    return 5.0 * float(b) ** 3 / 3.0
+
+
+def tpmqrt_flops(m: int, n: int, b: int) -> float:
+    """Apply a tpqrt block reflector to ``[b x n; m x n]``: ``4mnb + b²n``."""
+    return 4.0 * m * n * b + float(b) * b * n
+
+
+def tstrf_flops(m: int, b: int) -> float:
+    """Incremental-pivoting LU of ``[b x b tri; m x b]``: ``~mb²``."""
+    return float(m) * b * b
+
+
+def ssssm_flops(m: int, n: int, b: int) -> float:
+    """Replay a tstrf elimination on ``[b x n; m x n]``: ``2mnb``."""
+    return 2.0 * m * n * b
+
+
+def tslu_extra_flops(m: int, b: int, tr: int, binary: bool = True) -> float:
+    """Extra flops TSLU performs over plain GEPP of an ``m x b`` panel.
+
+    The preprocessing GEPP at the leaves (``m b² - b³/3`` total) plus
+    the tree merges (``tr - 1`` GEPPs of ``2b x b`` stacks for any tree
+    shape, ``~5b³/3`` each) — the redundant work the paper trades for
+    fewer synchronizations.  The top ``b x b`` block is then factored
+    again (``2b³/3``).
+    """
+    leaves = float(m) * b * b - b**3 / 3.0
+    merges = (tr - 1) * (2.0 * b * b * b - b**3 / 3.0)
+    refactor = 2.0 * b**3 / 3.0
+    return leaves + merges + refactor
+
+
+def tsqr_tree_flops(b: int, tr: int) -> float:
+    """Flops in the merge levels of a TSQR reduction over ``tr`` leaves."""
+    return (tr - 1) * tpqrt_tt_flops(b)

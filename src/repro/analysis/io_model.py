@@ -1,0 +1,93 @@
+"""Sequential memory-hierarchy traffic (the paper's other §II claim).
+
+"With a flat reduction tree, the algorithms are optimal in the amount
+of communication they perform in sequential, that is the amount of
+data transferred between different levels of memory."  This module
+gives closed-form slow-memory traffic (words moved between a fast
+memory of ``W`` words and slow memory) for the panel strategies:
+
+* classic partial pivoting re-touches the trailing panel on every
+  column — ``~m b² / 2`` words once the panel exceeds the fast memory;
+* TSLU/TSQR with a flat tree streams the panel once per phase
+  (tournament + factor) plus ``O(b²)`` per merge — ``~2 m b`` words.
+
+The ``b/4``-fold separation mirrors the parallel ``O(b)`` message
+separation of :mod:`repro.analysis.communication`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "panel_io_classic",
+    "panel_io_ca_flat",
+    "lu_io_lower_bound",
+    "blocked_lu_io",
+    "panel_io_reduction_factor",
+]
+
+
+def panel_io_classic(m: int, b: int, fast_words: int) -> float:
+    """Slow-memory words for a partial-pivoting panel of size ``m x b``.
+
+    If the panel fits in fast memory it is read and written once.
+    Otherwise every column's pivot search + rank-1 update streams the
+    remaining panel: ``sum_j (m - j)(b - j) ~ m b² / 2`` reads plus the
+    writes.
+    """
+    if m * b <= fast_words:
+        return 2.0 * m * b
+    reads = sum((m - j) * (b - j) for j in range(b))
+    return float(reads) + m * b  # one final write-back of the factors
+
+
+def panel_io_ca_flat(m: int, b: int, fast_words: int) -> float:
+    """Slow-memory words for a flat-tree TSLU/TSQR panel of size ``m x b``.
+
+    Leaf blocks are sized to fit fast memory, so the tournament streams
+    the panel once (each block read once, candidates ``b x b`` written
+    per leaf), the winner block is factored in cache, and the final
+    panel factorization streams the panel once more.
+    """
+    if m * b <= fast_words:
+        return 2.0 * m * b
+    block_rows = max(b, fast_words // (2 * b))
+    n_leaves = math.ceil(m / block_rows)
+    tournament = m * b + n_leaves * b * b  # read blocks, write candidates
+    factor = 2.0 * m * b  # read + write the panel against the pivot block
+    return tournament + factor
+
+
+def blocked_lu_io(m: int, n: int, b: int, fast_words: int, ca_panel: bool) -> float:
+    """Total slow-memory traffic of a right-looking blocked LU.
+
+    Panels via :func:`panel_io_classic` or :func:`panel_io_ca_flat`;
+    each trailing update streams the trailing matrix once per iteration
+    (reads + writes) plus the panel/row reads.
+    """
+    total = 0.0
+    r = min(m, n)
+    for k0 in range(0, r, b):
+        bk = min(b, r - k0)
+        mr = m - k0
+        nr = n - k0 - bk
+        panel = panel_io_ca_flat(mr, bk, fast_words) if ca_panel else panel_io_classic(mr, bk, fast_words)
+        update = 2.0 * mr * nr + mr * bk + bk * nr if nr > 0 else 0.0
+        total += panel + update
+    return total
+
+
+def lu_io_lower_bound(m: int, n: int, fast_words: int) -> float:
+    """Hong-Kung-style lower bound on LU traffic: ``~ m n² / sqrt(8 W)``.
+
+    (Irony-Toledo-Tiskin form, constants dropped to the standard
+    ``1/sqrt(8W)``.)  Any correct LU moves at least this many words.
+    """
+    return float(m) * n * n / math.sqrt(8.0 * fast_words)
+
+
+def panel_io_reduction_factor(m: int, b: int, fast_words: int) -> float:
+    """Traffic ratio classic/CA for one panel (``~ b/4`` when streaming)."""
+    ca = panel_io_ca_flat(m, b, fast_words)
+    return panel_io_classic(m, b, fast_words) / ca if ca else float("inf")

@@ -1,0 +1,67 @@
+"""Schedule statistics derived from execution traces.
+
+Quantifies the paper's Figures 3-4 story: how much idle time the panel
+factorization creates on the critical path, and how raising ``Tr``
+removes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.graph import TaskGraph
+from repro.runtime.trace import Trace
+
+__all__ = ["ScheduleStats", "schedule_stats"]
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Aggregate schedule quality numbers.
+
+    ``panel_fraction`` is the share of busy core-seconds spent in panel
+    (P) tasks; ``critical_path`` is the dependency-limited lower bound
+    on the makespan; ``efficiency`` is busy / (makespan * cores).
+    """
+
+    makespan: float
+    idle_fraction: float
+    busy_by_kind: dict[str, float]
+    critical_path: float
+    n_tasks: int
+    n_cores: int
+
+    @property
+    def efficiency(self) -> float:
+        return 1.0 - self.idle_fraction
+
+    @property
+    def panel_fraction(self) -> float:
+        busy = sum(self.busy_by_kind.values())
+        return self.busy_by_kind.get("P", 0.0) / busy if busy else 0.0
+
+    @property
+    def critical_path_slack(self) -> float:
+        """Makespan / critical path: 1.0 means the schedule is path-bound."""
+        return self.makespan / self.critical_path if self.critical_path else float("inf")
+
+
+def schedule_stats(trace: Trace, graph: TaskGraph, machine=None) -> ScheduleStats:
+    """Compute :class:`ScheduleStats` for an executed graph.
+
+    If *machine* is given, the critical path is measured in modelled
+    seconds; otherwise in observed per-task durations.
+    """
+    if machine is not None:
+        cp, _ = graph.critical_path(lambda t: machine.seq_time(t.cost))
+    else:
+        durations = {r.tid: r.duration for r in trace.records}
+        cp, _ = graph.critical_path(lambda t: durations.get(t.tid, 0.0))
+    return ScheduleStats(
+        makespan=trace.makespan,
+        idle_fraction=trace.idle_fraction(),
+        busy_by_kind=trace.busy_by_kind(),
+        critical_path=cp,
+        n_tasks=len(graph.tasks),
+        n_cores=trace.n_cores,
+    )

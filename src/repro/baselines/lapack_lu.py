@@ -1,0 +1,163 @@
+"""LAPACK-style LU baselines (the paper's MKL/ACML ``dgetf2``/``dgetrf``).
+
+Numeric drivers reuse the sequential kernels; the graph builders model
+how a vendor library executes on a multicore machine:
+
+* ``getf2`` — one monolithic BLAS2 task (vendor ``dgetf2`` is
+  effectively sequential and memory-bound — the paper's worst
+  performer on tall-skinny panels);
+* ``getrf`` — fork-join blocked right-looking LU: a *sequential* panel
+  task per iteration (this is the point the paper attacks: the panel
+  is on the critical path and classic libraries do not parallelize it
+  well), followed by row-chunked, column-stripped ``trsm``/``gemm``
+  update tasks that scale across cores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.flops import gemm_flops, lu_flops, trsm_left_flops
+from repro.core.layout import BlockLayout
+from repro.core.priorities import task_priority
+from repro.kernels.lu import getf2, getrf
+from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.task import Cost, TaskKind
+
+__all__ = ["getf2_lu", "getrf_lu", "build_getf2_graph", "build_getrf_graph"]
+
+
+def getf2_lu(A: np.ndarray, overwrite: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Unblocked BLAS2 LU (vendor ``dgetf2``). Returns ``(lu, piv)``."""
+    A = np.array(A, dtype=float, order="C", copy=not overwrite, subok=False)
+    piv = getf2(A)
+    return A, piv
+
+
+def getrf_lu(
+    A: np.ndarray, b: int = 64, panel: str = "getf2", overwrite: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Blocked right-looking LU (vendor ``dgetrf``). Returns ``(lu, piv)``."""
+    A = np.array(A, dtype=float, order="C", copy=not overwrite, subok=False)
+    piv = getrf(A, b=b, panel=panel)
+    return A, piv
+
+
+def build_getf2_graph(m: int, n: int, library: str = "mkl") -> TaskGraph:
+    """A single monolithic BLAS2 LU task — the ``dgetf2`` baseline."""
+    graph = TaskGraph(f"getf2{m}x{n}")
+    r = min(m, n)
+    graph.add(
+        "getf2",
+        TaskKind.P,
+        Cost(
+            "getf2",
+            m=m,
+            n=n,
+            flops=lu_flops(m, n),
+            # BLAS2 sweeps the trailing panel once per column.
+            words=float(m) * r,
+            library=library,
+        ),
+    )
+    return graph
+
+
+def build_getrf_graph(
+    m: int,
+    n: int,
+    b: int = 64,
+    row_chunks: int = 8,
+    library: str = "mkl",
+    lookahead: int = 0,
+    panel_kernel: str = "getrf_panel",
+    fork_join: bool = True,
+) -> TaskGraph:
+    """Fork-join blocked LU task graph (the ``dgetrf`` baseline).
+
+    Per iteration: one sequential panel task (default kernel
+    ``getrf_panel``: an internally blocked vendor panel, better than
+    raw BLAS2 ``getf2`` but still serial and on the critical path),
+    then per trailing block column a pivot-apply + ``trsm`` task and
+    ``row_chunks`` ``gemm`` tasks (vendor LU updates partition in both
+    dimensions, so the update scales; only the panel is serial).
+    """
+    layout = BlockLayout(m, n, b)
+    graph = TaskGraph(f"getrf{m}x{n}b{b}")
+    tracker = BlockTracker()
+    N = layout.N
+    prev_iter_tasks: list[int] = []
+    for K in range(layout.n_panels):
+        k0 = K * b
+        bk = layout.panel_width(K)
+        rows_active = m - k0
+        panel_cost = Cost(
+            panel_kernel,
+            m=rows_active,
+            n=bk,
+            flops=lu_flops(rows_active, bk),
+            words=2.0 * rows_active * bk,
+            library=library,
+        )
+        panel_tid = tracker.add_task(
+            graph,
+            f"panel[{K}]",
+            TaskKind.P,
+            panel_cost,
+            writes=layout.active_blocks(K, K),
+            # Fork-join: classic libraries barrier between iterations —
+            # the panel cannot overlap the previous trailing update.
+            extra_deps=prev_iter_tasks if fork_join else (),
+            priority=task_priority("P", K, lookahead=lookahead, n_cols=N),
+            iteration=K,
+        )
+        prev_iter_tasks = [panel_tid]
+        chunks = layout.panel_chunks(K, row_chunks)
+        for J in range(K + 1, N):
+            j0, j1 = layout.col_range(J)
+            nc = j1 - j0
+            u_tid = tracker.add_task(
+                graph,
+                f"U[{K}]{J}",
+                TaskKind.U,
+                Cost(
+                    "trsm_llnu",
+                    m=bk,
+                    n=nc,
+                    k=bk,
+                    flops=trsm_left_flops(bk, nc),
+                    words=2.0 * bk * nc + bk * bk + 2.0 * bk * nc,
+                    library=library,
+                ),
+                reads=[(K, K)],
+                writes=layout.active_blocks(K, J),
+                priority=task_priority("U", K, J, lookahead=lookahead, n_cols=N),
+                iteration=K,
+            )
+            prev_iter_tasks.append(u_tid)
+            for chunk in chunks:
+                r0 = max(chunk.r0, k0 + bk)
+                if r0 >= chunk.r1:
+                    continue
+                rows = chunk.r1 - r0
+                s_tid = tracker.add_task(
+                    graph,
+                    f"S[{K}]{chunk.index},{J}",
+                    TaskKind.S,
+                    Cost(
+                        "gemm",
+                        m=rows,
+                        n=nc,
+                        k=bk,
+                        flops=gemm_flops(rows, nc, bk),
+                        words=2.0 * rows * nc + rows * bk + bk * nc,
+                        library=library,
+                    ),
+                    reads=[(i, K) for i in range(r0 // b, chunk.b1)] + [(K, J)],
+                    writes=[(i, J) for i in range(r0 // b, chunk.b1)],
+                    extra_deps=[u_tid],
+                    priority=task_priority("S", K, J, lookahead=lookahead, n_cols=N),
+                    iteration=K,
+                )
+                prev_iter_tasks.append(s_tid)
+    return graph

@@ -1,0 +1,18 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+``workloads`` — matrix generators; ``methods`` — uniform runners that
+build a method's task graph and execute it on a simulated machine;
+``tables`` — result containers/formatters; ``experiments`` — one driver
+per paper artifact (Figures 3-8, Tables I-III) plus the ablations.
+
+Run from the command line::
+
+    python -m repro.bench fig5
+    python -m repro.bench all
+"""
+
+from repro.bench.methods import simulate_lu, simulate_qr
+from repro.bench.tables import Series, Table
+from repro.bench.workloads import ill_conditioned, random_matrix
+
+__all__ = ["Series", "Table", "ill_conditioned", "random_matrix", "simulate_lu", "simulate_qr"]

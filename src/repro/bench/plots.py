@@ -1,0 +1,76 @@
+"""ASCII line charts for the figure-type experiment results.
+
+The paper's Figures 5-8 are GFLOP/s-vs-n line plots; this renderer
+turns a :class:`~repro.bench.tables.Table` into a terminal chart so a
+``python -m repro.bench fig5`` run shows the *shape* at a glance —
+which series wins, and where the crossovers fall — without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.tables import Table
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(table: Table, width: int = 72, height: int = 20, logy: bool = False) -> str:
+    """Render the table's columns as series over its rows.
+
+    Rows become x positions (evenly spaced, labelled with the row
+    labels); each column becomes a series with its own marker.  Set
+    ``logy`` for a log10 y-axis.
+    """
+    n_rows, n_cols = table.values.shape
+    if n_rows == 0 or n_cols == 0:
+        return "(empty chart)"
+
+    def ty(v: float) -> float:
+        if logy:
+            return math.log10(max(v, 1e-12))
+        return v
+
+    ys = [[ty(table.values[i, j]) for i in range(n_rows)] for j in range(n_cols)]
+    lo = min(min(col) for col in ys)
+    hi = max(max(col) for col in ys)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    xs = [int(round(i * (width - 1) / max(n_rows - 1, 1))) for i in range(n_rows)]
+    for j in range(n_cols):
+        marker = _MARKERS[j % len(_MARKERS)]
+        for i in range(n_rows):
+            row = height - 1 - int(round((ys[j][i] - lo) / (hi - lo) * (height - 1)))
+            col = xs[i]
+            # Later series win ties; overlaps show the most recent marker.
+            grid[row][col] = marker
+
+    def ylab(frac: float) -> str:
+        v = lo + frac * (hi - lo)
+        return f"{10 ** v:8.2f}" if logy else f"{v:8.1f}"
+
+    lines = [table.title]
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        label = ylab(frac) if r % max(1, height // 5) == 0 or r == height - 1 else " " * 8
+        lines.append(f"{label} |{''.join(row)}")
+    # x axis with row labels spread along it.
+    axis = [" "] * width
+    for i, x in enumerate(xs):
+        lbl = table.row_labels[i]
+        start = min(x, width - len(lbl))
+        for k, ch in enumerate(lbl):
+            axis[start + k] = ch
+    lines.append(" " * 8 + " " + "-" * width)
+    lines.append(" " * 8 + " " + "".join(axis))
+    legend = "  ".join(
+        f"{_MARKERS[j % len(_MARKERS)]}={table.col_labels[j]}" for j in range(n_cols)
+    )
+    lines.append("series: " + legend)
+    if logy:
+        lines.append("(log y-axis)")
+    return "\n".join(lines)

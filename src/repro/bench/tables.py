@@ -1,0 +1,76 @@
+"""Result containers and text formatting for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Table", "Series"]
+
+
+@dataclass
+class Series:
+    """One line of a figure: ``label`` over ``x`` with values ``y``."""
+
+    label: str
+    x: list
+    y: list[float]
+
+
+@dataclass
+class Table:
+    """A rows-by-columns result grid with labels, printable as text.
+
+    ``values[i, j]`` is the measurement for ``row_labels[i]`` /
+    ``col_labels[j]`` — GFLOP/s unless the driver says otherwise.
+    """
+
+    title: str
+    row_header: str
+    row_labels: list[str]
+    col_labels: list[str]
+    values: np.ndarray
+    notes: list[str] = field(default_factory=list)
+    # Figure-type results also render an ASCII line chart in format().
+    chart: bool = False
+
+    def column(self, label: str) -> np.ndarray:
+        return self.values[:, self.col_labels.index(label)]
+
+    def cell(self, row: str, col: str) -> float:
+        return float(self.values[self.row_labels.index(row), self.col_labels.index(col)])
+
+    def ratio(self, num_col: str, den_col: str) -> np.ndarray:
+        """Speedup column: ``num / den`` per row."""
+        return self.column(num_col) / self.column(den_col)
+
+    def format(self, fmt: str = "{:8.2f}") -> str:
+        widths = [max(10, len(c) + 2) for c in self.col_labels]
+        head = f"{self.row_header:>10}" + "".join(
+            f"{c:>{w}}" for c, w in zip(self.col_labels, widths)
+        )
+        lines = [self.title, "-" * len(head), head, "-" * len(head)]
+        for i, rl in enumerate(self.row_labels):
+            cells = "".join(
+                f"{fmt.format(self.values[i, j]):>{w}}" for j, w in enumerate(widths)
+            )
+            lines.append(f"{rl:>10}" + cells)
+        lines.append("-" * len(head))
+        lines.extend(self.notes)
+        if self.chart:
+            from repro.bench.plots import ascii_chart  # local: avoids an import cycle
+
+            lines.append("")
+            lines.append(ascii_chart(self))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated export: header row, then one row per label."""
+        lines = [",".join([self.row_header, *self.col_labels])]
+        for i, rl in enumerate(self.row_labels):
+            lines.append(",".join([rl, *(f"{v:.6g}" for v in self.values[i])]))
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.format()

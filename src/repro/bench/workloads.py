@@ -1,0 +1,43 @@
+"""Workload generators for tests, examples and numeric benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_matrix", "ill_conditioned", "near_rank_deficient", "vandermonde_ls"]
+
+
+def random_matrix(m: int, n: int, seed: int = 0) -> np.ndarray:
+    """Standard Gaussian ``m x n`` matrix (the paper's test matrices)."""
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+def ill_conditioned(m: int, n: int, cond: float = 1e10, seed: int = 0) -> np.ndarray:
+    """Matrix with prescribed 2-norm condition number via an SVD recipe."""
+    rng = np.random.default_rng(seed)
+    r = min(m, n)
+    U, _ = np.linalg.qr(rng.standard_normal((m, r)))
+    V, _ = np.linalg.qr(rng.standard_normal((n, r)))
+    s = np.logspace(0.0, -np.log10(cond), r)
+    return (U * s) @ V.T
+
+
+def near_rank_deficient(m: int, n: int, rank: int, noise: float = 1e-12, seed: int = 0) -> np.ndarray:
+    """Rank-``rank`` matrix plus tiny noise — a pivoting stress test."""
+    rng = np.random.default_rng(seed)
+    B = rng.standard_normal((m, rank)) @ rng.standard_normal((rank, n))
+    return B + noise * rng.standard_normal((m, n))
+
+
+def vandermonde_ls(m: int, degree: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A tall-skinny least-squares problem (polynomial fitting).
+
+    Returns ``(A, rhs, coeffs)`` with ``A`` an ``m x (degree+1)``
+    Vandermonde matrix on ``[-1, 1]``, ``rhs = A @ coeffs + noise``.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.linspace(-1.0, 1.0, m)
+    A = np.vander(t, degree + 1, increasing=True)
+    coeffs = rng.standard_normal(degree + 1)
+    rhs = A @ coeffs + 1e-8 * rng.standard_normal(m)
+    return A, rhs, coeffs

@@ -1,0 +1,64 @@
+"""Parameter heuristics distilled from the paper's evaluation.
+
+The paper's Section IV findings, as defaults a user can call:
+
+* block size ``b = min(100, n)`` worked best on the 8-core machine;
+* for tall-skinny matrices, ``Tr = cores`` ("the panel factorization is
+  executed as fast as possible using all the available cores");
+* for large square matrices, small ``Tr`` wins (Table I: Tr=2 best at
+  ``n = 10^4`` — fewer redundant tournament flops, enough parallelism
+  from the updates);
+* the flat reduction tree is the shared-memory default for QR (the
+  paper's CAQR results use the height-1 tree), binary for LU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.trees import TreeKind
+
+__all__ = ["TuneResult", "recommend_params"]
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Recommended CALU/CAQR parameters for a problem shape."""
+
+    b: int
+    tr: int
+    tree: TreeKind
+    rationale: str
+
+
+def recommend_params(m: int, n: int, cores: int = 8, kind: str = "lu") -> TuneResult:
+    """Recommend ``(b, Tr, tree)`` for an ``m x n`` factorization.
+
+    *kind* is ``"lu"`` or ``"qr"``.  The rules encode the paper's
+    measured optima; they are starting points, not guarantees.
+    """
+    if m < 1 or n < 1 or cores < 1:
+        raise ValueError("m, n and cores must be positive")
+    if kind not in ("lu", "qr"):
+        raise ValueError(f"kind must be 'lu' or 'qr', got {kind!r}")
+    b = min(100, n)
+    aspect = m / n
+    if aspect >= 8.0:
+        # Tall and skinny: the panel dominates; throw every core at it.
+        tr = cores
+        rationale = (
+            "tall-skinny: panel on the critical path, Tr = cores removes "
+            "its idle time (paper Figures 3-4)"
+        )
+    elif max(m, n) >= 8000:
+        # Large square-ish: updates dominate; small Tr avoids redundant
+        # tournament work (paper Table I: Tr=2 best at 10^4).
+        tr = min(2, cores)
+        rationale = "large square: updates dominate, small Tr avoids redundant panel flops (Table I)"
+    else:
+        tr = max(1, min(cores, cores // 2 or 1))
+        rationale = "moderate size: balance panel parallelism against task count (Tables I-III)"
+    # Don't use more tournament leaves than full-height panel chunks exist.
+    tr = max(1, min(tr, m // max(b, 1) or 1))
+    tree = TreeKind.FLAT if kind == "qr" else TreeKind.BINARY
+    return TuneResult(b=b, tr=tr, tree=tree, rationale=rationale)

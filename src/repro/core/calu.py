@@ -1,0 +1,401 @@
+"""Multithreaded CALU — Algorithm 1 of the paper.
+
+Block LU factorization ``Π A = L U`` with ca-pivoting.  Each iteration
+``K`` emits:
+
+* task **P** — the TSLU tournament for panel ``K`` (leaves + reduction
+  tree + finalize), see :mod:`repro.core.tslu`;
+* task **L** — one ``dtrsm`` per row chunk computing a block of the
+  current column of ``L``;
+* task **U** — per trailing block column ``J``: apply the panel's row
+  swaps, then ``dtrsm`` for the block row of ``U``;
+* task **S** — per (row chunk, block column): the ``dgemm`` trailing
+  update;
+* one final **X** task applying the deferred row swaps to the left
+  part of ``L`` (Algorithm 1 line 41, ``dlaswap``).
+
+Dependencies are discovered from block read/write sets; static task
+priorities encode the look-ahead-1 schedule (see
+:mod:`repro.core.priorities`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.analysis.flops import gemm_flops, trsm_left_flops, trsm_right_flops
+from repro.core.layout import BlockLayout, Chunk
+from repro.core.priorities import task_priority
+from repro.core.trees import TreeKind
+from repro.core.tslu import PanelWorkspace, add_tslu_tasks
+from repro.kernels.blas import gemm, laswp, trsm_llnu, trsm_runn
+from repro.kernels.lu import piv_to_perm
+from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.task import Cost, TaskKind
+from repro.runtime.threaded import ThreadedExecutor
+
+__all__ = ["CALUFactorization", "build_calu_graph", "calu", "merged_chunks"]
+
+
+def merged_chunks(layout: BlockLayout, K: int, tr: int) -> list[Chunk]:
+    """Panel chunks with a too-short tail merged into its predecessor.
+
+    Guarantees every chunk has at least ``panel_width`` rows (needed by
+    the tree merges, which stack full ``b``-row candidate sets), except
+    when the whole active region is a single short chunk.
+    """
+    chunks = layout.panel_chunks(K, tr)
+    bk = layout.panel_width(K)
+    if len(chunks) > 1 and chunks[-1].rows < bk:
+        last, prev = chunks[-1], chunks[-2]
+        chunks[-2] = Chunk(index=prev.index, r0=prev.r0, r1=last.r1, b0=prev.b0, b1=last.b1)
+        chunks.pop()
+    return chunks
+
+
+def _l_fn(A: np.ndarray, k0: int, c0: int, c1: int, r0: int, r1: int):
+    def fn() -> None:
+        trsm_runn(A[k0 : k0 + (c1 - c0), c0:c1], A[r0:r1, c0:c1])
+
+    return fn
+
+
+def _u_fn(A: np.ndarray, m: int, k0: int, bk: int, c0: int, c1: int, j0: int, j1: int, ws: PanelWorkspace):
+    def fn() -> None:
+        laswp(A[k0:m, j0:j1], ws.piv)
+        trsm_llnu(A[k0 : k0 + bk, c0:c1], A[k0 : k0 + bk, j0:j1])
+
+    return fn
+
+
+def _s_fn(A: np.ndarray, k0: int, bk: int, c0: int, c1: int, r0: int, r1: int, j0: int, j1: int):
+    def fn() -> None:
+        gemm(A[r0:r1, j0:j1], A[r0:r1, c0:c1], A[k0 : k0 + bk, j0:j1])
+
+    return fn
+
+
+def _leftswap_fn(A: np.ndarray, layout: BlockLayout, workspaces: list[PanelWorkspace]):
+    def fn() -> None:
+        for K, ws in enumerate(workspaces):
+            k0 = K * layout.b
+            if k0 > 0 and ws.piv is not None:
+                laswp(A[k0 : layout.m, :k0], ws.piv)
+
+    return fn
+
+
+def build_calu_graph(
+    layout: BlockLayout,
+    tr: int,
+    tree: TreeKind = TreeKind.BINARY,
+    *,
+    A: np.ndarray | None = None,
+    lookahead: int = 1,
+    library: str = "repro",
+    leaf_kernel: str = "rgetf2",
+    arity: int = 4,
+    update_width: int | None = None,
+    update_library: str | None = None,
+) -> tuple[TaskGraph, list[PanelWorkspace]]:
+    """Build the CALU task graph for *layout*.
+
+    With ``A`` given (an ``m x n`` array factored in place), tasks
+    carry numeric closures; with ``A=None`` the graph is symbolic and
+    only carries costs (used to simulate paper-scale problems).
+    Returns ``(graph, per-panel workspaces)``.
+
+    ``update_width`` implements the paper's Section V extension: a
+    trailing-update block size ``B > b`` — trailing column segments are
+    grouped into super-segments of up to ``B`` columns, reducing the
+    task count and improving BLAS3 granularity at some cost in
+    look-ahead depth.  ``update_library`` prices the U/S update tasks
+    under a different library personality (the paper's closing
+    suggestion: "combining a fast panel factorization as in CALU with a
+    highly optimized update of the trailing matrix as in MKL_dgetrf").
+    """
+    graph = TaskGraph(f"calu{layout.m}x{layout.n}b{layout.b}tr{tr}")
+    tracker = BlockTracker()
+    numeric = A is not None
+    m, n, b, N = layout.m, layout.n, layout.b, layout.N
+    upd_lib = update_library or library
+    if update_width is not None and update_width < b:
+        raise ValueError(f"update_width B={update_width} must be >= b={b}")
+    workspaces: list[PanelWorkspace] = []
+
+    for K in range(layout.n_panels):
+        c0, c1 = K * b, K * b + layout.panel_width(K)
+        bk = c1 - c0
+        k0 = K * b
+        chunks = merged_chunks(layout, K, tr)
+        ws = PanelWorkspace()
+        workspaces.append(ws)
+
+        add_tslu_tasks(
+            graph,
+            tracker,
+            layout,
+            K,
+            chunks,
+            tree,
+            A=A,
+            ws=ws,
+            lookahead=lookahead,
+            library=library,
+            leaf_kernel=leaf_kernel,
+            arity=arity,
+        )
+
+        # Task L: blocks of the current column of L (dtrsm).
+        for chunk in chunks:
+            r0 = max(chunk.r0, k0 + bk)
+            if r0 >= chunk.r1:
+                continue
+            rows = chunk.r1 - r0
+            cost = Cost(
+                "trsm_runn",
+                m=rows,
+                k=bk,
+                flops=trsm_right_flops(rows, bk),
+                words=2.0 * rows * bk + bk * bk,
+                library=library,
+            )
+            blocks = [(i, K) for i in range(r0 // b, chunk.b1)]
+            tracker.add_task(
+                graph,
+                f"L[{K}]{chunk.index}",
+                TaskKind.L,
+                cost,
+                fn=_l_fn(A, k0, c0, c1, r0, chunk.r1) if numeric else None,
+                reads=[(K, K)],
+                writes=blocks,
+                priority=task_priority("L", K, lookahead=lookahead, n_cols=N),
+                iteration=K,
+            )
+
+        # Tasks U and S per trailing column segment.  Usually a segment
+        # is a full block column J > K, but when the panel is narrower
+        # than its block column (last panel of a wide matrix,
+        # min(m, n) % b != 0) the leftover columns of block column K
+        # form a partial leading segment.  With update_width=B > b the
+        # segments are grouped into super-segments of up to B columns
+        # (paper Section V).
+        base_segments: list[tuple[int, int, int]] = []
+        kb_end = min((K + 1) * b, n)
+        if c1 < kb_end:
+            base_segments.append((K, c1, kb_end))
+        base_segments.extend((J, *layout.col_range(J)) for J in range(K + 1, N))
+        if update_width is None:
+            segments = [(J, j0, j1, [J]) for J, j0, j1 in base_segments]
+        else:
+            segments = []
+            for J, j0, j1 in base_segments:
+                if segments and j1 - segments[-1][1] <= update_width:
+                    Jf, g0, _, cols = segments[-1]
+                    segments[-1] = (Jf, g0, j1, cols + [J])
+                else:
+                    segments.append((J, j0, j1, [J]))
+        for J, j0, j1, jcols in segments:
+            nc = j1 - j0
+            swap_words = 2.0 * bk * nc
+            cost_u = Cost(
+                "trsm_llnu",
+                m=bk,
+                n=nc,
+                k=bk,
+                flops=trsm_left_flops(bk, nc),
+                words=2.0 * bk * nc + bk * bk + swap_words,
+                library=upd_lib,
+            )
+            u_writes = [blk for Jc in jcols for blk in layout.active_blocks(K, Jc)]
+            u_tid = tracker.add_task(
+                graph,
+                f"U[{K}]{J}",
+                TaskKind.U,
+                cost_u,
+                fn=_u_fn(A, m, k0, bk, c0, c1, j0, j1, ws) if numeric else None,
+                reads=[(K, K)],
+                writes=u_writes,
+                priority=task_priority("U", K, J, lookahead=lookahead, n_cols=N),
+                iteration=K,
+            )
+            for chunk in chunks:
+                r0 = max(chunk.r0, k0 + bk)
+                if r0 >= chunk.r1:
+                    continue
+                rows = chunk.r1 - r0
+                cost_s = Cost(
+                    "gemm",
+                    m=rows,
+                    n=nc,
+                    k=bk,
+                    flops=gemm_flops(rows, nc, bk),
+                    words=2.0 * rows * nc + rows * bk + bk * nc,
+                    library=upd_lib,
+                )
+                blocks = [(i, Jc) for Jc in jcols for i in range(r0 // b, chunk.b1)]
+                tracker.add_task(
+                    graph,
+                    f"S[{K}]{chunk.index},{J}",
+                    TaskKind.S,
+                    cost_s,
+                    fn=_s_fn(A, k0, bk, c0, c1, r0, chunk.r1, j0, j1) if numeric else None,
+                    reads=[(i, K) for i in range(r0 // b, chunk.b1)]
+                    + [(K, Jc) for Jc in jcols],
+                    writes=blocks,
+                    extra_deps=[u_tid],
+                    priority=task_priority("S", K, J, lookahead=lookahead, n_cols=N),
+                    iteration=K,
+                )
+
+    # Deferred left swaps (Algorithm 1 line 41).  Depends on all sinks,
+    # i.e. transitively on the entire factorization.
+    if layout.n_panels > 1:
+        sinks = [t for t in range(len(graph.tasks)) if not graph.succs[t]]
+        swap_words = 2.0 * sum(
+            K * b * layout.panel_width(K) for K in range(1, layout.n_panels)
+        )
+        graph.add(
+            "leftswaps",
+            TaskKind.X,
+            Cost("laswp", words=swap_words, library=library),
+            fn=_leftswap_fn(A, layout, workspaces) if numeric else None,
+            deps=sinks,
+            priority=task_priority("X", layout.n_panels),
+            iteration=layout.n_panels - 1,
+        )
+    return graph, workspaces
+
+
+@dataclass
+class CALUFactorization:
+    """Result of :func:`calu`: ``A[perm] = L U``.
+
+    ``lu`` packs ``L`` (strictly below the diagonal, unit diagonal
+    implicit) and ``U`` (on and above); ``piv`` is the global
+    LAPACK-style swap sequence of length ``min(m, n)``.
+    """
+
+    lu: np.ndarray
+    piv: np.ndarray
+    b: int
+    tr: int
+    tree: TreeKind
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.lu.shape
+
+    @property
+    def perm(self) -> np.ndarray:
+        """Row permutation: ``A[perm] = L @ U``."""
+        return piv_to_perm(self.piv, self.lu.shape[0])
+
+    @property
+    def L(self) -> np.ndarray:
+        m, n = self.lu.shape
+        r = min(m, n)
+        L = np.tril(self.lu[:, :r], -1)
+        np.fill_diagonal(L, 1.0)
+        return L
+
+    @property
+    def U(self) -> np.ndarray:
+        m, n = self.lu.shape
+        return np.triu(self.lu[: min(m, n), :])
+
+    def reconstruct(self) -> np.ndarray:
+        """Recompute ``A`` from the factors (for verification)."""
+        out = self.L @ self.U
+        inv = np.empty_like(self.perm)
+        inv[self.perm] = np.arange(len(self.perm))
+        return out[inv]
+
+    def solve(self, rhs: np.ndarray, trans: bool = False) -> np.ndarray:
+        """Solve ``A x = rhs`` (or ``A^T x = rhs`` with ``trans=True``).
+
+        Square systems only.  With ``A = P^T L U`` the transposed solve
+        is ``U^T w = rhs``, ``L^T y = w``, ``x[perm] = y`` — needed by
+        the 1-norm condition estimator.
+        """
+        m, n = self.lu.shape
+        if m != n:
+            raise ValueError(f"solve requires a square factorization, got {self.lu.shape}")
+        rhs = np.asarray(rhs, dtype=float)
+        squeeze = rhs.ndim == 1
+        B = rhs.reshape(m, -1)
+        if not trans:
+            y = B[self.perm]
+            y = scipy.linalg.solve_triangular(self.lu, y, lower=True, unit_diagonal=True)
+            x = scipy.linalg.solve_triangular(self.lu, y, lower=False)
+        else:
+            w = scipy.linalg.solve_triangular(self.lu, B, lower=False, trans="T")
+            y = scipy.linalg.solve_triangular(self.lu, w, lower=True, unit_diagonal=True, trans="T")
+            x = np.empty_like(y)
+            x[self.perm] = y
+        return x[:, 0] if squeeze else x
+
+
+def calu(
+    A: np.ndarray,
+    b: int | None = None,
+    tr: int = 4,
+    tree: TreeKind = TreeKind.BINARY,
+    executor=None,
+    lookahead: int = 1,
+    leaf_kernel: str = "rgetf2",
+    overwrite: bool = False,
+    update_width: int | None = None,
+    check_finite: bool = True,
+) -> CALUFactorization:
+    """Factor ``A`` with multithreaded CALU (Algorithm 1).
+
+    Parameters
+    ----------
+    A : (m, n) array.
+    b : panel width (paper default ``min(100, n)``).
+    tr : number of panel tasks ``Tr`` (tournament leaves).
+    tree : reduction tree shape.
+    executor : a runtime executor; defaults to a
+        :class:`~repro.runtime.threaded.ThreadedExecutor` with
+        ``min(tr, 4)`` workers.
+    lookahead : scheduling look-ahead depth (paper: 1).
+    leaf_kernel : sequential kernel at tournament leaves
+        (``"rgetf2"``, the paper's choice, or ``"getf2"``).
+    overwrite : allow factoring ``A`` in place.
+    update_width : optional trailing-update block size ``B >= b``
+        (paper Section V extension): coarser, fewer update tasks.
+
+    Returns a :class:`CALUFactorization`.
+    """
+    dtype = A.dtype if getattr(A, "dtype", None) in (np.float32, np.float64) else np.float64
+    A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
+    if check_finite and not np.isfinite(A).all():
+        raise ValueError("matrix contains NaN or Inf (pass check_finite=False to skip)")
+    m, n = A.shape
+    if b is None:
+        b = min(100, n)
+    layout = BlockLayout(m, n, b)
+    graph, workspaces = build_calu_graph(
+        layout,
+        tr,
+        tree,
+        A=A,
+        lookahead=lookahead,
+        leaf_kernel=leaf_kernel,
+        update_width=update_width,
+    )
+    if executor is None:
+        executor = ThreadedExecutor(min(tr, 4))
+    executor.run(graph)
+    r = min(m, n)
+    piv = np.arange(r, dtype=np.int64)
+    for K, ws in enumerate(workspaces):
+        k0 = K * b
+        bk = layout.panel_width(K)
+        assert ws.piv is not None
+        piv[k0 : k0 + bk] = ws.piv[:bk] + k0
+    return CALUFactorization(lu=A, piv=piv, b=b, tr=tr, tree=tree)

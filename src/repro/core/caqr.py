@@ -1,0 +1,270 @@
+"""Multithreaded CAQR — Algorithm 2 of the paper.
+
+Block QR factorization ``A = Q R`` whose panel factorization is TSQR
+(:mod:`repro.core.tsqr`).  Unlike CALU the panel is factored only
+once, and the reduction tree that produced ``R`` also drives the
+trailing-matrix update:
+
+* task **P** — leaf QR of one row chunk of the panel (``dgeqr3``) and
+  the ``[R_i; R_j]`` tree merges (structured ``tpqrt``);
+* task **S** (leaf) — apply a leaf's block reflector to one trailing
+  block column (``dlarfb``);
+* task **S** (node) — apply a merge's ``[I; V_b]`` reflector to the two
+  ``b``-row slices of a trailing block column (``tpmqrt``).
+
+``Q`` stays implicit (per-panel :class:`~repro.core.tsqr.PanelQRStore`),
+so ``apply_q``/``apply_qt``/``solve_ls`` replay the trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.flops import larfb_flops, tpmqrt_flops
+from repro.core.calu import merged_chunks
+from repro.core.layout import BlockLayout, Chunk
+from repro.core.priorities import task_priority
+from repro.core.trees import TreeKind
+from repro.core.tsqr import MergeStep, PanelQRStore, add_tsqr_tasks
+from repro.kernels.qr import larfb_left_t
+from repro.kernels.structured import tpmqrt_left_t
+from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.task import Cost, TaskKind
+from repro.runtime.threaded import ThreadedExecutor
+
+__all__ = ["CAQRFactorization", "build_caqr_graph", "caqr"]
+
+
+def _leaf_update_fn(A: np.ndarray, store: PanelQRStore, slot: int, j0: int, j1: int):
+    def fn() -> None:
+        leaf = store.leaves[slot]
+        larfb_left_t(leaf.V, leaf.T, A[leaf.r0 : leaf.r1, j0:j1])
+
+    return fn
+
+
+def _merge_update_fn(A: np.ndarray, store: PanelQRStore, pair_indices: list[int], j0: int, j1: int):
+    def fn() -> None:
+        for idx in pair_indices:
+            mf = store.merges[idx]
+            assert mf is not None
+            tpmqrt_left_t(
+                mf.Vb,
+                mf.T,
+                A[mf.top0 : mf.top0 + mf.r, j0:j1],
+                A[mf.bot0 : mf.bot0 + mf.r, j0:j1],
+            )
+
+    return fn
+
+
+def build_caqr_graph(
+    layout: BlockLayout,
+    tr: int,
+    tree: TreeKind = TreeKind.FLAT,
+    *,
+    A: np.ndarray | None = None,
+    lookahead: int = 1,
+    library: str = "repro_qr",
+    leaf_kernel: str = "geqr3",
+    arity: int = 4,
+) -> tuple[TaskGraph, list[PanelQRStore]]:
+    """Build the CAQR task graph; symbolic when ``A`` is None.
+
+    Returns ``(graph, per-panel implicit-Q stores)``.
+    """
+    graph = TaskGraph(f"caqr{layout.m}x{layout.n}b{layout.b}tr{tr}")
+    tracker = BlockTracker()
+    numeric = A is not None
+    N = layout.N
+    stores: list[PanelQRStore] = []
+
+    for K in range(layout.n_panels):
+        bk = layout.panel_width(K)
+        chunks = merged_chunks(layout, K, tr)
+        store = PanelQRStore() if numeric else None
+        if numeric:
+            stores.append(store)
+
+        handles = add_tsqr_tasks(
+            graph,
+            tracker,
+            layout,
+            K,
+            chunks,
+            tree,
+            A=A,
+            store=store,
+            lookahead=lookahead,
+            library=library,
+            leaf_kernel=leaf_kernel,
+            arity=arity,
+        )
+
+        # Trailing column segments: full block columns J > K plus, for a
+        # panel narrower than its block column (last panel of a wide
+        # matrix), the leftover columns of block column K itself.
+        c1 = K * layout.b + bk
+        kb_end = min((K + 1) * layout.b, layout.n)
+        segments: list[tuple[int, int, int]] = []
+        if c1 < kb_end:
+            segments.append((K, c1, kb_end))
+        segments.extend((J, *layout.col_range(J)) for J in range(K + 1, N))
+        for J, j0, j1 in segments:
+            nc = j1 - j0
+            # Leaf updates: one dlarfb per (chunk, J).
+            for slot, chunk in handles.leaf_chunks.items():
+                cost = Cost(
+                    "larfb",
+                    m=chunk.rows,
+                    n=nc,
+                    k=bk,
+                    flops=larfb_flops(chunk.rows, nc, bk),
+                    words=2.0 * chunk.rows * nc + chunk.rows * bk,
+                    library=library,
+                )
+                tracker.add_task(
+                    graph,
+                    f"S[{K}]leaf{slot},{J}",
+                    TaskKind.S,
+                    cost,
+                    fn=_leaf_update_fn(A, store, slot, j0, j1) if numeric else None,
+                    reads=chunk.blocks(K),
+                    writes=chunk.blocks(J),
+                    extra_deps=[handles.leaf_tids[slot]],
+                    priority=task_priority("S", K, J, lookahead=lookahead, n_cols=N),
+                    iteration=K,
+                )
+            # Tree-node updates: tpmqrt on the two R slices per merge.
+            for step in handles.merge_steps:
+                npairs = len(step.srcs)
+                cost = Cost(
+                    "tpmqrt",
+                    m=bk,
+                    n=nc,
+                    k=bk,
+                    flops=tpmqrt_flops(bk, nc, bk) * npairs,
+                    words=(4.0 * bk * nc + bk * bk) * npairs,
+                    library=library,
+                )
+                blocks = [(step.dst.b0, J)] + [(s.b0, J) for s in step.srcs]
+                tracker.add_task(
+                    graph,
+                    f"S[{K}]node{step.dst.index}l{step.level},{J}",
+                    TaskKind.S,
+                    cost,
+                    fn=_merge_update_fn(A, store, step.pair_indices, j0, j1)
+                    if numeric
+                    else None,
+                    reads=blocks,
+                    writes=blocks,
+                    extra_deps=[step.tid],
+                    priority=task_priority("S", K, J, lookahead=lookahead, n_cols=N),
+                    iteration=K,
+                )
+    return graph, stores
+
+
+@dataclass
+class CAQRFactorization:
+    """Result of :func:`caqr`: ``A = Q R`` with implicit per-panel ``Q``.
+
+    ``packed`` holds the Householder storage (``R`` in the upper
+    triangle); ``panels`` the per-panel tree factors.
+    """
+
+    packed: np.ndarray
+    panels: list[PanelQRStore]
+    b: int
+    tr: int
+    tree: TreeKind
+
+    @property
+    def m(self) -> int:
+        return self.packed.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.packed.shape[1]
+
+    @property
+    def R(self) -> np.ndarray:
+        """The ``min(m,n) x n`` upper-triangular/trapezoidal factor."""
+        r = min(self.packed.shape)
+        return np.triu(self.packed[:r, :])
+
+    def apply_qt(self, C: np.ndarray) -> np.ndarray:
+        """Return ``Q^T C`` for ``C`` of shape ``(m,)`` or ``(m, p)``."""
+        C = np.array(C, dtype=float, copy=True)
+        squeeze = C.ndim == 1
+        W = C.reshape(self.m, -1)
+        for store in self.panels:
+            store.apply_qt(W)
+        return W[:, 0] if squeeze else W
+
+    def apply_q(self, C: np.ndarray) -> np.ndarray:
+        """Return ``Q C`` for ``C`` of shape ``(m,)`` or ``(m, p)``."""
+        C = np.array(C, dtype=float, copy=True)
+        squeeze = C.ndim == 1
+        W = C.reshape(self.m, -1)
+        for store in reversed(self.panels):
+            store.apply_q(W)
+        return W[:, 0] if squeeze else W
+
+    def q_explicit(self) -> np.ndarray:
+        """The thin ``Q`` (``m x min(m, n)``)."""
+        r = min(self.packed.shape)
+        E = np.zeros((self.m, r))
+        np.fill_diagonal(E, 1.0)
+        return self.apply_q(E)
+
+    def reconstruct(self) -> np.ndarray:
+        """Recompute ``A = Q R`` (for verification)."""
+        r = min(self.packed.shape)
+        RR = np.zeros((self.m, self.n))
+        RR[:r] = self.R
+        return self.apply_q(RR)
+
+    def solve_ls(self, rhs: np.ndarray) -> np.ndarray:
+        """Least-squares solution of ``min ||A x - rhs||_2`` (``m >= n``)."""
+        import scipy.linalg
+
+        if self.m < self.n:
+            raise ValueError("solve_ls requires m >= n")
+        y = self.apply_qt(rhs)
+        return scipy.linalg.solve_triangular(self.R, y[: self.n])
+
+
+def caqr(
+    A: np.ndarray,
+    b: int | None = None,
+    tr: int = 4,
+    tree: TreeKind = TreeKind.FLAT,
+    executor=None,
+    lookahead: int = 1,
+    leaf_kernel: str = "geqr3",
+    overwrite: bool = False,
+    check_finite: bool = True,
+) -> CAQRFactorization:
+    """Factor ``A`` with multithreaded CAQR (Algorithm 2).
+
+    Parameters mirror :func:`repro.core.calu.calu`; the default tree is
+    the height-1 (flat) reduction the paper uses for its CAQR results.
+    """
+    dtype = A.dtype if getattr(A, "dtype", None) in (np.float32, np.float64) else np.float64
+    A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
+    if check_finite and not np.isfinite(A).all():
+        raise ValueError("matrix contains NaN or Inf (pass check_finite=False to skip)")
+    m, n = A.shape
+    if b is None:
+        b = min(100, n)
+    layout = BlockLayout(m, n, b)
+    graph, stores = build_caqr_graph(
+        layout, tr, tree, A=A, lookahead=lookahead, leaf_kernel=leaf_kernel
+    )
+    if executor is None:
+        executor = ThreadedExecutor(min(tr, 4))
+    executor.run(graph)
+    return CAQRFactorization(packed=A, panels=stores, b=b, tr=tr, tree=tree)

@@ -1,0 +1,110 @@
+"""Block layout arithmetic for the multithreaded algorithms.
+
+Implements the index formulas of Algorithms 1 and 2: the matrix lives
+on an ``M x N`` grid of ``b x b`` blocks, and at iteration ``K`` the
+active rows are partitioned into (at most) ``Tr`` contiguous chunks of
+whole block-rows,
+
+``I1 = (K-1) + (I-1) * ceil((M-K+1)/Tr)``,
+``I2 = min(M, K-1 + I * ceil((M-K+1)/Tr))``,
+
+generalized here to matrices whose dimensions are not multiples of
+``b`` (the paper assumes divisibility "without loss of generality").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["BlockLayout", "Chunk"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous row range ``[r0, r1)`` covering block-rows ``[b0, b1)``."""
+
+    index: int
+    r0: int
+    r1: int
+    b0: int
+    b1: int
+
+    @property
+    def rows(self) -> int:
+        return self.r1 - self.r0
+
+    def blocks(self, col: int) -> list[tuple[int, int]]:
+        """Block coordinates of this chunk restricted to one block column."""
+        return [(i, col) for i in range(self.b0, self.b1)]
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """An ``m x n`` matrix partitioned into ``b x b`` blocks."""
+
+    m: int
+    n: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.n < 1:
+            raise ValueError(f"matrix dimensions must be positive, got {self.m}x{self.n}")
+        if self.b < 1:
+            raise ValueError(f"block size must be positive, got {self.b}")
+
+    @property
+    def M(self) -> int:
+        """Number of block rows."""
+        return -(-self.m // self.b)
+
+    @property
+    def N(self) -> int:
+        """Number of block columns."""
+        return -(-self.n // self.b)
+
+    @property
+    def n_panels(self) -> int:
+        """Number of panel iterations: block columns of ``min(m, n)``."""
+        return -(-min(self.m, self.n) // self.b)
+
+    def col_range(self, K: int) -> tuple[int, int]:
+        """Column range ``[c0, c1)`` of block column ``K``."""
+        return K * self.b, min((K + 1) * self.b, self.n)
+
+    def row_range(self, i: int) -> tuple[int, int]:
+        """Row range ``[r0, r1)`` of block row ``i``."""
+        return i * self.b, min((i + 1) * self.b, self.m)
+
+    def panel_width(self, K: int) -> int:
+        c0, c1 = self.col_range(K)
+        return min(c1, min(self.m, self.n)) - c0
+
+    def panel_chunks(self, K: int, tr: int) -> list[Chunk]:
+        """Partition the active rows of iteration ``K`` into ``<= Tr`` chunks.
+
+        Active rows are ``[K*b, m)``; the chunking follows the paper's
+        ceil formula in block units, dropping empty chunks (when fewer
+        active block-rows than ``Tr`` remain).
+        """
+        if tr < 1:
+            raise ValueError(f"Tr must be >= 1, got {tr}")
+        first = K
+        blocks_left = self.M - K
+        if blocks_left <= 0:
+            return []
+        per = math.ceil(blocks_left / tr)
+        chunks: list[Chunk] = []
+        for i in range(tr):
+            b0 = first + i * per
+            b1 = min(self.M, first + (i + 1) * per)
+            if b0 >= b1:
+                break
+            r0 = b0 * self.b
+            r1 = min(b1 * self.b, self.m)
+            chunks.append(Chunk(index=i, r0=r0, r1=r1, b0=b0, b1=b1))
+        return chunks
+
+    def active_blocks(self, K: int, col: int) -> list[tuple[int, int]]:
+        """All active block coordinates of block column *col* at iteration K."""
+        return [(i, col) for i in range(K, self.M)]

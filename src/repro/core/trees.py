@@ -1,0 +1,94 @@
+"""Reduction-tree shapes for TSLU/TSQR.
+
+The paper uses two shapes — a binary tree (``O(log2 Tr)``
+synchronizations, optimal parallel communication) and a tree of height
+one (a single ``Tr``-way merge, which the paper finds to be "an
+efficient alternative" on shared memory).  The hybrid shape (flat at
+the bottom, binary on top) is the reduction tree of Hadri et al. [14],
+which the paper's conclusion singles out for future comparison; it is
+included for the tree ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["TreeKind", "reduction_schedule", "tree_height"]
+
+
+class TreeKind(enum.Enum):
+    """Reduction tree shape used by the panel factorization."""
+
+    BINARY = "binary"
+    FLAT = "flat"
+    HYBRID = "hybrid"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+Merge = tuple[int, list[int]]  # (destination slot, source slots; dst == srcs[0])
+
+
+def reduction_schedule(
+    n_leaves: int,
+    kind: TreeKind = TreeKind.BINARY,
+    arity: int = 4,
+) -> list[list[Merge]]:
+    """Merge schedule reducing ``n_leaves`` candidate slots to slot 0.
+
+    Returns a list of levels; each level is a list of independent
+    merges ``(dst, srcs)`` combining the candidate sets currently held
+    in ``srcs`` into ``dst`` (``dst == srcs[0]``, matching the paper's
+    in-place ``B_I`` update).  Levels synchronize: a merge at level
+    ``l`` may consume results of level ``l - 1``.
+
+    * ``BINARY``: the paper's Algorithm 1 lines 11-18 — partner at
+      distance ``2^(level-1)``; unpaired slots carry over.
+    * ``FLAT``: a single merge of all leaves (tree of height 1).
+    * ``HYBRID``: flat merges of ``arity`` consecutive slots first,
+      then binary above (Hadri et al.).
+    """
+    if n_leaves < 1:
+        raise ValueError("n_leaves must be >= 1")
+    if n_leaves == 1:
+        return []
+    if kind is TreeKind.FLAT:
+        return [[(0, list(range(n_leaves)))]]
+    if kind is TreeKind.HYBRID:
+        if arity < 2:
+            raise ValueError("hybrid arity must be >= 2")
+        first: list[Merge] = []
+        leaders: list[int] = []
+        for g0 in range(0, n_leaves, arity):
+            group = list(range(g0, min(g0 + arity, n_leaves)))
+            leaders.append(group[0])
+            if len(group) > 1:
+                first.append((group[0], group))
+        levels = [first] if first else []
+        levels.extend(_binary_levels(leaders))
+        return levels
+    if kind is TreeKind.BINARY:
+        return _binary_levels(list(range(n_leaves)))
+    raise ValueError(f"unknown tree kind {kind!r}")
+
+
+def _binary_levels(slots: list[int]) -> list[list[Merge]]:
+    """Binary pairing of *slots* (arbitrary slot numbers) down to one."""
+    levels: list[list[Merge]] = []
+    alive = list(slots)
+    while len(alive) > 1:
+        level: list[Merge] = []
+        nxt: list[int] = []
+        for i in range(0, len(alive), 2):
+            if i + 1 < len(alive):
+                level.append((alive[i], [alive[i], alive[i + 1]]))
+            nxt.append(alive[i])
+        levels.append(level)
+        alive = nxt
+    return levels
+
+
+def tree_height(n_leaves: int, kind: TreeKind = TreeKind.BINARY, arity: int = 4) -> int:
+    """Number of synchronizing levels in the reduction."""
+    return len(reduction_schedule(n_leaves, kind, arity))

@@ -1,0 +1,273 @@
+"""TSLU — tall-skinny LU panel factorization with tournament pivoting.
+
+The panel is split into ``Tr`` row chunks.  Each chunk elects ``b``
+candidate pivot rows by Gaussian elimination with partial pivoting
+(GEPP, task P at the tree leaves); candidate sets are merged by further
+GEPP sweeps up a reduction tree (task P at inner nodes).  The winning
+``b`` rows are swapped to the top of the panel and the pivot block is
+factored without further pivoting (the *finalize* step); the remaining
+panel rows become ``L`` via triangular solves (task L, emitted by the
+caller — CALU — or by :func:`tslu` for a standalone panel).
+
+This module provides both the task-graph builder used by CALU and a
+standalone :func:`tslu` driver for factoring a single tall-skinny
+panel, the operation the paper benchmarks against ``MKL_dgetf2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.flops import lu_flops, lu_panel_flops, trsm_right_flops
+from repro.core.layout import BlockLayout, Chunk
+from repro.core.priorities import task_priority
+from repro.core.trees import TreeKind, reduction_schedule
+from repro.kernels.blas import laswp
+from repro.kernels.lu import getf2, getf2_nopiv, perm_from_piv_rows, piv_to_perm, rgetf2
+from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.task import Cost, TaskKind
+from repro.runtime.threaded import ThreadedExecutor
+
+__all__ = ["PanelWorkspace", "add_tslu_tasks", "tslu"]
+
+
+@dataclass
+class PanelWorkspace:
+    """Shared state of one panel's tournament.
+
+    ``cand_rows[slot]`` / ``cand_gidx[slot]`` hold the candidate pivot
+    rows (values, copied out of the matrix) and their row indices local
+    to the panel; ``piv`` is the final LAPACK-style swap sequence set
+    by the finalize task.
+    """
+
+    cand_rows: dict[int, np.ndarray] = field(default_factory=dict)
+    cand_gidx: dict[int, np.ndarray] = field(default_factory=dict)
+    piv: np.ndarray | None = None
+
+
+def _select_pivots(block: np.ndarray, leaf_kernel: str) -> np.ndarray:
+    """GEPP a *copy* of *block*; return the selected pivot positions in order.
+
+    The input is never modified — callers forward the original rows up
+    the reduction tree, so the factored values must not leak into the
+    candidate sets.
+    """
+    rows, cols = block.shape
+    work = block.copy()
+    if leaf_kernel == "rgetf2" and rows >= cols:
+        piv = rgetf2(work)
+    else:
+        piv = getf2(work)
+    perm = piv_to_perm(piv, rows)
+    return perm[: min(rows, cols)]
+
+
+def _leaf_fn(A: np.ndarray, chunk: Chunk, c0: int, c1: int, k0: int, ws: PanelWorkspace, leaf_kernel: str):
+    def fn() -> None:
+        block = A[chunk.r0 : chunk.r1, c0:c1]
+        sel = _select_pivots(block, leaf_kernel)
+        ws.cand_rows[chunk.index] = block[sel].copy()
+        ws.cand_gidx[chunk.index] = (chunk.r0 - k0) + sel
+
+    return fn
+
+
+def _merge_fn(ws: PanelWorkspace, dst: int, srcs: list[int], bk: int, leaf_kernel: str):
+    def fn() -> None:
+        rows = np.vstack([ws.cand_rows[s] for s in srcs])
+        gidx = np.concatenate([ws.cand_gidx[s] for s in srcs])
+        sel = _select_pivots(rows, leaf_kernel)
+        ws.cand_rows[dst] = rows[sel].copy()
+        ws.cand_gidx[dst] = gidx[sel]
+
+    return fn
+
+
+def _finalize_fn(A: np.ndarray, k0: int, m: int, c0: int, c1: int, ws: PanelWorkspace, root: int):
+    def fn() -> None:
+        gidx = ws.cand_gidx[root]
+        piv = perm_from_piv_rows(gidx, m - k0)
+        ws.piv = piv
+        laswp(A[k0:m, c0:c1], piv)
+        r = min(c1 - c0, m - k0)
+        getf2_nopiv(A[k0 : k0 + r, c0:c1])
+
+    return fn
+
+
+def add_tslu_tasks(
+    graph: TaskGraph,
+    tracker: BlockTracker,
+    layout: BlockLayout,
+    K: int,
+    chunks: list[Chunk],
+    tree: TreeKind = TreeKind.BINARY,
+    *,
+    A: np.ndarray | None = None,
+    ws: PanelWorkspace | None = None,
+    lookahead: int = 1,
+    library: str = "repro",
+    leaf_kernel: str = "rgetf2",
+    arity: int = 4,
+) -> int:
+    """Emit the TSLU tasks for panel *K*; returns the finalize task id.
+
+    With ``A=None`` the tasks are symbolic (cost-only).  *chunks* is
+    the row partition for this iteration (from
+    :meth:`BlockLayout.panel_chunks`, possibly tail-merged).
+    """
+    c0, c1 = layout.col_range(K)
+    c1 = min(c1, K * layout.b + layout.panel_width(K))
+    bk = c1 - c0
+    k0 = K * layout.b
+    m = layout.m
+    numeric = A is not None
+    prio_p = task_priority("P", K, lookahead=lookahead, n_cols=layout.N)
+
+    producer: dict[int, int] = {}
+    for chunk in chunks:
+        cost = Cost(
+            leaf_kernel if chunk.rows >= bk else "getf2",
+            m=chunk.rows,
+            n=bk,
+            flops=lu_flops(chunk.rows, bk),
+            words=2.0 * chunk.rows * bk,
+            library=library,
+        )
+        fn = _leaf_fn(A, chunk, c0, c1, k0, ws, leaf_kernel) if numeric else None
+        producer[chunk.index] = tracker.add_task(
+            graph,
+            f"P[{K}]leaf{chunk.index}",
+            TaskKind.P,
+            cost,
+            fn=fn,
+            reads=chunk.blocks(K),
+            priority=prio_p,
+            iteration=K,
+        )
+
+    slots = [c.index for c in chunks]
+    root = slots[0]
+    cand_rows = {c.index: min(c.rows, bk) for c in chunks}
+    for level in reduction_schedule(len(slots), tree, arity):
+        for dst_pos, src_pos in level:
+            dst = slots[dst_pos]
+            srcs = [slots[p] for p in src_pos]
+            stacked = sum(cand_rows[s] for s in srcs)
+            cost = Cost(
+                "gepp_merge",
+                m=stacked,
+                n=bk,
+                flops=lu_panel_flops(stacked, min(stacked, bk)),
+                words=2.0 * stacked * bk,
+                library=library,
+            )
+            fn = _merge_fn(ws, dst, srcs, bk, leaf_kernel) if numeric else None
+            producer[dst] = graph.add(
+                f"P[{K}]merge{dst}<{','.join(map(str, srcs))}",
+                TaskKind.P,
+                cost,
+                fn=fn,
+                deps=[producer[s] for s in srcs],
+                priority=prio_p,
+                iteration=K,
+            )
+            cand_rows[dst] = min(stacked, bk)
+
+    r = min(bk, m - k0)
+    fin_cost = Cost(
+        "getf2_nopiv",
+        m=r,
+        n=bk,
+        flops=lu_panel_flops(r, r),
+        words=2.0 * bk * bk + 2.0 * bk * bk,  # swaps across the panel + factor traffic
+        library=library,
+    )
+    fn = _finalize_fn(A, k0, m, c0, c1, ws, root) if numeric else None
+    finalize = tracker.add_task(
+        graph,
+        f"F[{K}]",
+        TaskKind.P,
+        fin_cost,
+        fn=fn,
+        writes=layout.active_blocks(K, K),
+        extra_deps=[producer[root]],
+        priority=task_priority("F", K, lookahead=lookahead, n_cols=layout.N),
+        iteration=K,
+    )
+    return finalize
+
+
+def tslu(
+    A: np.ndarray,
+    tr: int = 4,
+    tree: TreeKind = TreeKind.BINARY,
+    executor=None,
+    leaf_kernel: str = "rgetf2",
+    overwrite: bool = False,
+    check_finite: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Factor one tall-skinny panel with tournament pivoting.
+
+    Returns ``(lu, piv)``: the packed in-place factorization (``L``
+    strictly below the diagonal with unit diagonal implicit, ``U`` on
+    and above) and the LAPACK-style swap sequence such that
+    ``A[perm] = L @ U`` with ``perm = piv_to_perm(piv, m)``.
+
+    This is the standalone panel operation the paper benchmarks against
+    ``MKL_dgetf2``: GEPP-quality pivots with ``O(log2 Tr)``
+    synchronizations instead of one per column.
+    """
+    dtype = A.dtype if getattr(A, "dtype", None) in (np.float32, np.float64) else np.float64
+    A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
+    if check_finite and not np.isfinite(A).all():
+        raise ValueError("matrix contains NaN or Inf (pass check_finite=False to skip)")
+    m, n = A.shape
+    if m < n:
+        raise ValueError(f"tslu requires a tall panel (m >= n), got {A.shape}")
+    layout = BlockLayout(m, n, b=n)
+    chunks = layout.panel_chunks(0, tr)
+    graph = TaskGraph(f"tslu{m}x{n}")
+    tracker = BlockTracker()
+    ws = PanelWorkspace()
+    finalize = add_tslu_tasks(
+        graph, tracker, layout, 0, chunks, tree, A=A, ws=ws, leaf_kernel=leaf_kernel
+    )
+    # L tasks: the rows below the pivot block, one trsm per chunk.
+    from repro.kernels.blas import trsm_runn  # local to avoid cycle at import
+
+    def _l_fn(r0: int, r1: int):
+        def fn() -> None:
+            trsm_runn(A[:n, :], A[r0:r1, :])
+
+        return fn
+
+    for chunk in chunks:
+        r0 = max(chunk.r0, n)
+        if r0 >= chunk.r1:
+            continue
+        cost = Cost(
+            "trsm_runn",
+            m=chunk.r1 - r0,
+            k=n,
+            flops=trsm_right_flops(chunk.r1 - r0, n),
+            words=2.0 * (chunk.r1 - r0) * n,
+        )
+        tracker.add_task(
+            graph,
+            f"L[0]{chunk.index}",
+            TaskKind.L,
+            cost,
+            fn=_l_fn(r0, chunk.r1),
+            reads=[(0, 0)],
+            writes=chunk.blocks(0),
+            priority=task_priority("L", 0),
+        )
+    if executor is None:
+        executor = ThreadedExecutor(min(tr, 4))
+    executor.run(graph)
+    assert ws.piv is not None
+    return A, ws.piv

@@ -1,0 +1,331 @@
+"""TSQR — tall-skinny QR via a reduction tree.
+
+The panel is split into ``Tr`` row chunks; each chunk is QR-factored
+independently (task P at the leaves, using the recursive ``dgeqr3``
+kernel the paper prefers); the resulting ``R`` factors are merged
+pairwise (binary tree), all at once (flat tree, the paper's best
+performer in Section IV) or in groups (hybrid), each merge being a
+structured ``[R_i; R_j]`` QR (:func:`repro.kernels.structured.tpqrt`).
+
+``Q`` is kept implicit — the list of leaf WY factors and merge
+reflectors — exactly like LAPACK keeps Householder vectors.  This is
+what makes TSQR useful for the paper's motivating application
+(orthogonalization in block iterative methods): ``apply_q`` /
+``apply_qt`` replay the tree in ``O(mn)`` per vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.flops import qr_flops, tpqrt_tt_flops
+from repro.core.layout import BlockLayout, Chunk
+from repro.core.priorities import task_priority
+from repro.core.trees import TreeKind, reduction_schedule
+from repro.kernels.qr import extract_v, geqr2, geqr3, larfb_left_t, larft
+from repro.kernels.structured import tpqrt, tpmqrt_left_t
+from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.task import Cost, TaskKind
+from repro.runtime.threaded import ThreadedExecutor
+
+__all__ = [
+    "LeafFactor",
+    "MergeFactor",
+    "PanelQRStore",
+    "TSQRTasks",
+    "add_tsqr_tasks",
+    "TSQRFactorization",
+    "tsqr",
+]
+
+
+@dataclass
+class LeafFactor:
+    """WY factor of one leaf QR: rows ``[r0, r1)``, ``Q = I - V T V^T``."""
+
+    slot: int
+    r0: int
+    r1: int
+    V: np.ndarray
+    T: np.ndarray
+
+
+@dataclass
+class MergeFactor:
+    """One ``[R_top; R_bot]`` merge: ``V = [I; Vb]`` with ``Vb`` upper triangular."""
+
+    top0: int
+    bot0: int
+    r: int
+    Vb: np.ndarray
+    T: np.ndarray
+
+
+@dataclass
+class PanelQRStore:
+    """Implicit-Q storage for one panel: leaves plus ordered merges."""
+
+    leaves: dict[int, LeafFactor] = field(default_factory=dict)
+    merges: list[MergeFactor | None] = field(default_factory=list)
+
+    def apply_qt(self, C: np.ndarray) -> None:
+        """Apply this panel's ``Q^T`` to (the full-height) ``C`` in place."""
+        for leaf in self.leaves.values():
+            larfb_left_t(leaf.V, leaf.T, C[leaf.r0 : leaf.r1])
+        for mf in self.merges:
+            assert mf is not None
+            tpmqrt_left_t(mf.Vb, mf.T, C[mf.top0 : mf.top0 + mf.r], C[mf.bot0 : mf.bot0 + mf.r])
+
+    def apply_q(self, C: np.ndarray) -> None:
+        """Apply this panel's ``Q`` to ``C`` in place (reverse replay)."""
+        for mf in reversed(self.merges):
+            assert mf is not None
+            tpmqrt_left_t(
+                mf.Vb,
+                mf.T,
+                C[mf.top0 : mf.top0 + mf.r],
+                C[mf.bot0 : mf.bot0 + mf.r],
+                transpose=False,
+            )
+        for leaf in self.leaves.values():
+            V, T = leaf.V, leaf.T
+            Cv = C[leaf.r0 : leaf.r1]
+            W = T @ (V.T @ Cv)
+            Cv -= V @ W
+
+
+@dataclass
+class MergeStep:
+    """Build-time record of one merge task: which pairs it performs."""
+
+    tid: int
+    level: int
+    dst: Chunk
+    srcs: list[Chunk]
+    pair_indices: list[int]  # indices into PanelQRStore.merges
+
+
+@dataclass
+class TSQRTasks:
+    """Handles returned by :func:`add_tsqr_tasks` for the CAQR builder."""
+
+    leaf_tids: dict[int, int]
+    leaf_chunks: dict[int, Chunk]
+    merge_steps: list[MergeStep]
+
+
+def _leaf_fn(A: np.ndarray, chunk: Chunk, c0: int, c1: int, store: PanelQRStore, kernel: str):
+    def fn() -> None:
+        block = A[chunk.r0 : chunk.r1, c0:c1]
+        if kernel == "geqr3":
+            T = geqr3(block)
+        else:
+            tau = geqr2(block)
+            T = larft(extract_v(block), tau)
+        store.leaves[chunk.index] = LeafFactor(
+            slot=chunk.index, r0=chunk.r0, r1=chunk.r1, V=extract_v(block), T=T
+        )
+
+    return fn
+
+
+def _merge_fn(
+    A: np.ndarray,
+    dst: Chunk,
+    srcs: list[Chunk],
+    c0: int,
+    c1: int,
+    store: PanelQRStore,
+    pair_indices: list[int],
+):
+    bk = c1 - c0
+
+    def fn() -> None:
+        d0 = dst.r0
+        for src, idx in zip(srcs, pair_indices):
+            s0 = src.r0
+            Rtop = A[d0 : d0 + bk, c0:c1]
+            Bsrc = A[s0 : s0 + bk, c0:c1]
+            T = tpqrt(Rtop, Bsrc, bottom_triangular=True)
+            store.merges[idx] = MergeFactor(
+                top0=d0, bot0=s0, r=bk, Vb=np.triu(Bsrc).copy(), T=T
+            )
+
+    return fn
+
+
+def add_tsqr_tasks(
+    graph: TaskGraph,
+    tracker: BlockTracker,
+    layout: BlockLayout,
+    K: int,
+    chunks: list[Chunk],
+    tree: TreeKind = TreeKind.BINARY,
+    *,
+    A: np.ndarray | None = None,
+    store: PanelQRStore | None = None,
+    lookahead: int = 1,
+    library: str = "repro_qr",
+    leaf_kernel: str = "geqr3",
+    arity: int = 4,
+) -> TSQRTasks:
+    """Emit the TSQR panel tasks (leaf QRs + tree merges) for panel *K*.
+
+    Returns the task handles CAQR uses to attach trailing updates.
+    With ``A=None`` the tasks are symbolic.
+    """
+    c0 = K * layout.b
+    c1 = c0 + layout.panel_width(K)
+    bk = c1 - c0
+    numeric = A is not None
+    prio_p = task_priority("P", K, lookahead=lookahead, n_cols=layout.N)
+
+    leaf_tids: dict[int, int] = {}
+    leaf_chunks: dict[int, Chunk] = {}
+    by_slot = {c.index: c for c in chunks}
+    for chunk in chunks:
+        cost = Cost(
+            leaf_kernel,
+            m=chunk.rows,
+            n=bk,
+            flops=qr_flops(chunk.rows, bk),
+            words=2.0 * chunk.rows * bk,
+            library=library,
+        )
+        fn = _leaf_fn(A, chunk, c0, c1, store, leaf_kernel) if numeric else None
+        tid = tracker.add_task(
+            graph,
+            f"P[{K}]leaf{chunk.index}",
+            TaskKind.P,
+            cost,
+            fn=fn,
+            reads=chunk.blocks(K),
+            writes=chunk.blocks(K),
+            priority=prio_p,
+            iteration=K,
+        )
+        leaf_tids[chunk.index] = tid
+        leaf_chunks[chunk.index] = chunk
+
+    merge_steps: list[MergeStep] = []
+    slots = [c.index for c in chunks]
+    n_pairs = 0
+    for lvl, level in enumerate(reduction_schedule(len(slots), tree, arity), start=1):
+        for dst_pos, src_pos in level:
+            dst = by_slot[slots[dst_pos]]
+            srcs = [by_slot[slots[p]] for p in src_pos if slots[p] != slots[dst_pos]]
+            pair_indices = list(range(n_pairs, n_pairs + len(srcs)))
+            n_pairs += len(srcs)
+            if store is not None:
+                store.merges.extend([None] * len(srcs))
+            cost = Cost(
+                "tpqrt_tt",
+                m=2 * bk,
+                n=bk,
+                k=bk,
+                flops=tpqrt_tt_flops(bk) * len(srcs),
+                words=3.0 * bk * bk * len(srcs),
+                library=library,
+            )
+            fn = (
+                _merge_fn(A, dst, srcs, c0, c1, store, pair_indices) if numeric else None
+            )
+            tid = tracker.add_task(
+                graph,
+                f"P[{K}]merge{dst.index}<{','.join(str(s.index) for s in srcs)}",
+                TaskKind.P,
+                cost,
+                fn=fn,
+                reads=[(dst.b0, K)] + [(s.b0, K) for s in srcs],
+                writes=[(dst.b0, K)] + [(s.b0, K) for s in srcs],
+                priority=prio_p,
+                iteration=K,
+            )
+            merge_steps.append(
+                MergeStep(tid=tid, level=lvl, dst=dst, srcs=srcs, pair_indices=pair_indices)
+            )
+    return TSQRTasks(leaf_tids=leaf_tids, leaf_chunks=leaf_chunks, merge_steps=merge_steps)
+
+
+@dataclass
+class TSQRFactorization:
+    """Result of :func:`tsqr`: ``A = Q R`` with implicit ``Q``."""
+
+    m: int
+    n: int
+    store: PanelQRStore
+    R: np.ndarray
+    tr: int
+    tree: TreeKind
+
+    def apply_qt(self, C: np.ndarray) -> np.ndarray:
+        """Return ``Q^T C`` (``C`` is ``(m, p)`` or ``(m,)``)."""
+        C = np.array(C, dtype=float, copy=True)
+        squeeze = C.ndim == 1
+        W = C.reshape(self.m, -1)
+        self.store.apply_qt(W)
+        return W[:, 0] if squeeze else W
+
+    def apply_q(self, C: np.ndarray) -> np.ndarray:
+        """Return ``Q C`` (``C`` is ``(m, p)`` or ``(m,)``)."""
+        C = np.array(C, dtype=float, copy=True)
+        squeeze = C.ndim == 1
+        W = C.reshape(self.m, -1)
+        self.store.apply_q(W)
+        return W[:, 0] if squeeze else W
+
+    def q_explicit(self) -> np.ndarray:
+        """The thin ``Q`` (``m x n``), formed by applying ``Q`` to ``[I; 0]``."""
+        E = np.zeros((self.m, self.n))
+        np.fill_diagonal(E, 1.0)
+        return self.apply_q(E)
+
+    def solve_ls(self, rhs: np.ndarray) -> np.ndarray:
+        """Least-squares solution of ``min ||A x - rhs||`` via ``Q R``."""
+        import scipy.linalg
+
+        y = self.apply_qt(rhs)
+        if y.ndim == 1:
+            return scipy.linalg.solve_triangular(self.R, y[: self.n])
+        return scipy.linalg.solve_triangular(self.R, y[: self.n])
+
+
+def tsqr(
+    A: np.ndarray,
+    tr: int = 4,
+    tree: TreeKind = TreeKind.FLAT,
+    executor=None,
+    leaf_kernel: str = "geqr3",
+    overwrite: bool = False,
+    check_finite: bool = True,
+) -> TSQRFactorization:
+    """QR-factor one tall-skinny panel with a reduction tree.
+
+    The paper's standalone TSQR (Figure 8): up to 5.3x faster than
+    ``MKL_dgeqrf`` on ``10^5 x 200``.  Default tree is the height-1
+    (flat) tree the paper found best on shared memory.
+    """
+    dtype = A.dtype if getattr(A, "dtype", None) in (np.float32, np.float64) else np.float64
+    A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
+    if check_finite and not np.isfinite(A).all():
+        raise ValueError("matrix contains NaN or Inf (pass check_finite=False to skip)")
+    m, n = A.shape
+    if m < n:
+        raise ValueError(f"tsqr requires a tall panel (m >= n), got {A.shape}")
+    layout = BlockLayout(m, n, b=n)
+    from repro.core.calu import merged_chunks  # shared chunk policy
+
+    chunks = merged_chunks(layout, 0, tr)
+    graph = TaskGraph(f"tsqr{m}x{n}")
+    tracker = BlockTracker()
+    store = PanelQRStore()
+    add_tsqr_tasks(
+        graph, tracker, layout, 0, chunks, tree, A=A, store=store, leaf_kernel=leaf_kernel
+    )
+    if executor is None:
+        executor = ThreadedExecutor(min(tr, 4))
+    executor.run(graph)
+    R = np.triu(A[:n, :]).copy()
+    return TSQRFactorization(m=m, n=n, store=store, R=R, tr=tr, tree=tree)

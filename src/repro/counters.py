@@ -1,0 +1,163 @@
+"""Global operation counters.
+
+The paper argues about *communication* (number of synchronizations and
+volume of data moved) as much as about flops.  Every kernel in
+:mod:`repro.kernels` reports the floating-point operations it performs,
+and the runtime reports synchronizations (task-graph edges crossed
+between workers) and words moved, into the :class:`Counters` object
+installed by :func:`counting`.
+
+Counting is optional and costs one dictionary lookup per kernel call
+when disabled.  Counters are shared between threads (the threaded
+executor's workers all report into the same object), so updates are
+guarded by a lock.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.counters import counting
+>>> from repro.kernels.lu import getf2
+>>> with counting() as c:
+...     _ = getf2(np.random.default_rng(0).standard_normal((64, 32)))
+>>> c.flops > 0
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Counters", "counting", "current_counters", "add_flops", "add_sync", "add_words"]
+
+
+@dataclass
+class Counters:
+    """Accumulator for flops, synchronizations and data volume.
+
+    Attributes
+    ----------
+    flops:
+        Floating-point operations performed by the kernels (a fused
+        multiply-add counts as two flops, matching LAPACK conventions).
+    syncs:
+        Synchronization events.  The runtime counts one per task-graph
+        edge whose endpoints ran on different workers/cores; reduction
+        trees therefore contribute ``O(log2 Tr)`` per panel with a
+        binary tree and ``O(1)`` with a flat tree, the paper's claim.
+    words:
+        Words (double-precision elements) moved between tasks, i.e. the
+        communication volume across task boundaries.
+    comparisons:
+        Pivot-search comparisons (partial pivoting / tournament).
+    kernel_calls:
+        Per-kernel-name invocation counts.
+    """
+
+    flops: int = 0
+    syncs: int = 0
+    words: int = 0
+    comparisons: int = 0
+    kernel_calls: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def add_flops(self, n: int) -> None:
+        with self._lock:
+            self.flops += int(n)
+
+    def add_sync(self, n: int = 1) -> None:
+        with self._lock:
+            self.syncs += int(n)
+
+    def add_words(self, n: int) -> None:
+        with self._lock:
+            self.words += int(n)
+
+    def add_comparisons(self, n: int) -> None:
+        with self._lock:
+            self.comparisons += int(n)
+
+    def add_call(self, kernel: str) -> None:
+        with self._lock:
+            self.kernel_calls[kernel] = self.kernel_calls.get(kernel, 0) + 1
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a plain-dict copy of the scalar counters."""
+        with self._lock:
+            return {
+                "flops": self.flops,
+                "syncs": self.syncs,
+                "words": self.words,
+                "comparisons": self.comparisons,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.flops = 0
+            self.syncs = 0
+            self.words = 0
+            self.comparisons = 0
+            self.kernel_calls.clear()
+
+
+# A single module-global slot, not thread-local: the threaded executor's
+# workers must all see the counter installed by the coordinating thread.
+_active: list[Counters] = []
+_active_lock = threading.Lock()
+
+
+def current_counters() -> Counters | None:
+    """Return the innermost active :class:`Counters`, or ``None``."""
+    # Reading the last element is atomic under the GIL; taking the lock
+    # here would serialize every kernel call for no benefit.
+    return _active[-1] if _active else None
+
+
+@contextmanager
+def counting(counters: Counters | None = None) -> Iterator[Counters]:
+    """Install *counters* (or a fresh object) as the active accumulator."""
+    c = counters if counters is not None else Counters()
+    with _active_lock:
+        _active.append(c)
+    try:
+        yield c
+    finally:
+        with _active_lock:
+            _active.remove(c)
+
+
+def add_flops(n: int) -> None:
+    """Report *n* flops to the active counter, if any."""
+    c = current_counters()
+    if c is not None:
+        c.add_flops(n)
+
+
+def add_sync(n: int = 1) -> None:
+    """Report *n* synchronization events to the active counter, if any."""
+    c = current_counters()
+    if c is not None:
+        c.add_sync(n)
+
+
+def add_words(n: int) -> None:
+    """Report *n* words of inter-task traffic to the active counter."""
+    c = current_counters()
+    if c is not None:
+        c.add_words(n)
+
+
+def add_comparisons(n: int) -> None:
+    """Report *n* pivot-search comparisons to the active counter."""
+    c = current_counters()
+    if c is not None:
+        c.add_comparisons(n)
+
+
+def add_call(kernel: str) -> None:
+    """Report one invocation of *kernel* to the active counter."""
+    c = current_counters()
+    if c is not None:
+        c.add_call(kernel)

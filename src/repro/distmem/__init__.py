@@ -1,0 +1,37 @@
+"""Simulated distributed-memory substrate.
+
+CALU and CAQR were introduced for distributed memory (the paper's
+Section II); the multicore adaptation inherits their reduction trees.
+This subpackage implements the *original* distributed setting as an
+explicit simulation: ``P`` ranks each own a block of rows, and every
+exchange goes through a counting channel, so message counts, word
+volumes and alpha-beta communication times are exact — no MPI needed.
+
+It exists to validate the communication-optimality claims end to end:
+
+* distributed TSLU/TSQR with a binary tree needs ``ceil(log2 P)``
+  message rounds per panel (optimal in parallel);
+* the classic partial-pivoting panel needs one reduction round per
+  *column* — ``b`` times more;
+* with a flat tree the root ingests ``P - 1`` messages in one round
+  (optimal in volume sequentially, latency-bound in parallel).
+
+Numerics are identical to the shared-memory implementations — the
+tournament selects the same pivot rows, TSQR computes the same ``R``.
+"""
+
+from repro.distmem.calu_dist import DistCALU, distributed_calu
+from repro.distmem.comm import AlphaBeta, CommLog, RowBlocks
+from repro.distmem.tslu_dist import distributed_gepp_panel, distributed_tslu
+from repro.distmem.tsqr_dist import distributed_tsqr
+
+__all__ = [
+    "AlphaBeta",
+    "CommLog",
+    "DistCALU",
+    "RowBlocks",
+    "distributed_calu",
+    "distributed_gepp_panel",
+    "distributed_tslu",
+    "distributed_tsqr",
+]

@@ -1,0 +1,153 @@
+"""Distributed-memory CALU over a 1D block-row distribution.
+
+The full factorization in the CA algorithms' original setting: ``P``
+ranks own contiguous row blocks; every iteration runs the distributed
+TSLU tournament (``O(log2 P)`` rounds), exchanges pivot rows, has the
+pivot-block owner broadcast the ``U`` block row, and updates rank-local
+trailing rows with no further communication.  Per-iteration
+communication is therefore ``O(log2 P)`` message rounds — versus
+``O(b log2 P)`` for a classic panel — which is the whole point.
+
+Numerics run on a coordinator-held matrix with ownership-driven
+communication tracing (documented approach; the per-rank panel
+implementations in :mod:`repro.distmem.tslu_dist` move real buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trees import TreeKind, reduction_schedule
+from repro.distmem.comm import CommLog, RowBlocks
+from repro.kernels.blas import gemm, trsm_llnu, trsm_runn
+from repro.kernels.lu import getf2, getf2_nopiv, perm_from_piv_rows, piv_to_perm, rgetf2
+
+__all__ = ["DistCALU", "distributed_calu"]
+
+
+@dataclass
+class DistCALU:
+    """Result of :func:`distributed_calu`.
+
+    ``lu`` packs the factors exactly like
+    :class:`~repro.core.calu.CALUFactorization.lu`; ``piv`` is the
+    global swap sequence; ``comm`` the traced communication.
+    """
+
+    lu: np.ndarray
+    piv: np.ndarray
+    comm: CommLog
+    P: int
+
+    @property
+    def perm(self) -> np.ndarray:
+        return piv_to_perm(self.piv, self.lu.shape[0])
+
+
+def _broadcast(log: CommLog, root: int, ranks: list[int], words: int) -> None:
+    others = [r for r in ranks if r != root]
+    have = [root]
+    while others:
+        log.new_round()
+        for s in list(have):
+            if not others:
+                break
+            dst = others.pop(0)
+            log.send(s, dst, np.empty(words))
+            have.append(dst)
+
+
+def distributed_calu(
+    A: np.ndarray,
+    P: int = 4,
+    b: int = 32,
+    tree: TreeKind = TreeKind.BINARY,
+) -> DistCALU:
+    """Factor ``A`` (``m x n``) with CALU over ``P`` block-row ranks."""
+    A = np.array(A, dtype=float, order="C", subok=False)
+    m, n = A.shape
+    dist = RowBlocks(m, P)
+    log = CommLog()
+    r = min(m, n)
+    piv = np.arange(r, dtype=np.int64)
+
+    for k0 in range(0, r, b):
+        bk = min(b, r - k0)
+        active = range(k0, m)
+        # Participating ranks: owners of at least one active row.
+        ranks = sorted({dist.owner(i) for i in active})
+
+        # --- TSLU tournament over the participating ranks ---------------
+        cand_rows: dict[int, np.ndarray] = {}
+        cand_gidx: dict[int, np.ndarray] = {}
+        for rk in ranks:
+            lo, hi = dist.bounds(rk)
+            lo = max(lo, k0)
+            block = A[lo:hi, k0 : k0 + bk]
+            work = block.copy()
+            p = rgetf2(work) if work.shape[0] >= bk else getf2(work)
+            sel = piv_to_perm(p, block.shape[0])[: min(block.shape[0], bk)]
+            cand_rows[rk] = block[sel].copy()
+            cand_gidx[rk] = lo - k0 + sel  # local to the active region
+        for level in reduction_schedule(len(ranks), tree):
+            log.new_round()
+            for dst_pos, src_pos in level:
+                dst = ranks[dst_pos]
+                rows = [cand_rows[dst]]
+                gidx = [cand_gidx[dst]]
+                for ppos in src_pos:
+                    src = ranks[ppos]
+                    if src == dst:
+                        continue
+                    log.send(src, dst, np.empty(cand_rows[src].size + cand_gidx[src].size))
+                    rows.append(cand_rows[src])
+                    gidx.append(cand_gidx[src])
+                stacked = np.vstack(rows)
+                sidx = np.concatenate(gidx)
+                work = stacked.copy()
+                p = getf2(work)
+                sel = piv_to_perm(p, stacked.shape[0])[: min(stacked.shape[0], bk)]
+                cand_rows[dst] = stacked[sel].copy()
+                cand_gidx[dst] = sidx[sel]
+        root = ranks[0]
+        pivots = cand_gidx[root]
+
+        # Broadcast pivot decisions; swap full rows across ranks.
+        _broadcast(log, root, ranks, words=len(pivots))
+        piv_local = perm_from_piv_rows(pivots, m - k0)
+        piv[k0 : k0 + bk] = piv_local[:bk] + k0
+        log.new_round()
+        for i in range(bk):
+            p = int(piv_local[i])
+            gi, gp = k0 + i, k0 + p
+            if p != i:
+                o1, o2 = dist.owner(gi), dist.owner(gp)
+                if o1 != o2:
+                    log.send(o1, o2, np.empty(n))
+                    log.send(o2, o1, np.empty(n))
+                A[[gi, gp]] = A[[gp, gi]]
+
+        # Factor the pivot block (owner of the top rows) and broadcast
+        # L_kk/U_kk plus the computed U block row to everyone.
+        panel_top = A[k0 : k0 + bk, k0 : k0 + bk]
+        getf2_nopiv(panel_top)
+        if k0 + bk < n:
+            trsm_llnu(panel_top, A[k0 : k0 + bk, k0 + bk :])
+        top_owner = dist.owner(k0)
+        _broadcast(log, top_owner, ranks, words=bk * (n - k0))
+
+        # Local work on every rank: L blocks and trailing updates.
+        if k0 + bk < m:
+            trsm_runn(panel_top, A[k0 + bk :, k0 : k0 + bk])
+            if k0 + bk < n:
+                gemm(
+                    A[k0 + bk :, k0 + bk :],
+                    A[k0 + bk :, k0 : k0 + bk],
+                    A[k0 : k0 + bk, k0 + bk :],
+                )
+
+    # Swaps were applied eagerly to full rows (left part included), so
+    # the packing is already in LAPACK getrf form.
+    return DistCALU(lu=A, piv=piv, comm=log, P=len({dist.owner(i) for i in range(m)}))

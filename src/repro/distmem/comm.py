@@ -1,0 +1,119 @@
+"""Counting communication channel and row-block distribution.
+
+The simulation is SPMD-by-coordination: the algorithm code moves NumPy
+arrays between per-rank storage through :class:`CommLog`, which records
+every message.  Communication *time* is evaluated afterwards under an
+alpha-beta model with per-round latency: messages in the same round
+(tree level) overlap, so a round costs
+``alpha + beta * max_words_into_one_rank``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AlphaBeta", "CommLog", "RowBlocks"]
+
+
+@dataclass(frozen=True)
+class AlphaBeta:
+    """Latency-bandwidth communication model.
+
+    ``alpha`` seconds per message round, ``beta`` seconds per word.
+    """
+
+    alpha: float = 1e-6
+    beta: float = 1e-9
+
+
+@dataclass
+class Message:
+    src: int
+    dst: int
+    words: int
+    round_id: int
+
+
+@dataclass
+class CommLog:
+    """Records every rank-to-rank transfer, grouped into rounds.
+
+    A *round* is a synchronization step: the tree level in TSLU/TSQR,
+    or one column's pivot reduction in the classic panel.  Messages in
+    one round are assumed concurrent; receiving is serialized per rank.
+    """
+
+    messages: list[Message] = field(default_factory=list)
+    _round: int = 0
+
+    def new_round(self) -> int:
+        self._round += 1
+        return self._round
+
+    def send(self, src: int, dst: int, payload: np.ndarray | int | float) -> None:
+        """Record a transfer of *payload* from rank *src* to rank *dst*."""
+        if src == dst:
+            return  # local, no communication
+        words = int(np.asarray(payload).size)
+        self.messages.append(Message(src=src, dst=dst, words=words, round_id=self._round))
+
+    @property
+    def n_messages(self) -> int:
+        return len(self.messages)
+
+    @property
+    def n_rounds(self) -> int:
+        return len({m.round_id for m in self.messages})
+
+    @property
+    def total_words(self) -> int:
+        return sum(m.words for m in self.messages)
+
+    def time(self, model: AlphaBeta) -> float:
+        """Alpha-beta time: per round, latency + the busiest receiver."""
+        rounds: dict[int, dict[int, int]] = {}
+        for m in self.messages:
+            rounds.setdefault(m.round_id, {}).setdefault(m.dst, 0)
+            rounds[m.round_id][m.dst] += m.words
+        total = 0.0
+        for per_dst in rounds.values():
+            total += model.alpha + model.beta * max(per_dst.values())
+        return total
+
+
+@dataclass(frozen=True)
+class RowBlocks:
+    """Block-row distribution of ``m`` rows over ``P`` ranks.
+
+    Rank ``r`` owns the contiguous rows ``range(*bounds(r))``; the
+    partition matches :meth:`repro.core.layout.BlockLayout.panel_chunks`
+    so the distributed tournament selects the same pivots as the
+    shared-memory one.
+    """
+
+    m: int
+    P: int
+
+    def __post_init__(self) -> None:
+        if self.P < 1 or self.m < 1:
+            raise ValueError(f"invalid distribution m={self.m}, P={self.P}")
+
+    def bounds(self, rank: int) -> tuple[int, int]:
+        per = -(-self.m // self.P)
+        r0 = min(self.m, rank * per)
+        r1 = min(self.m, (rank + 1) * per)
+        return r0, r1
+
+    def owner(self, row: int) -> int:
+        per = -(-self.m // self.P)
+        return min(self.P - 1, row // per)
+
+    @property
+    def active_ranks(self) -> list[int]:
+        return [r for r in range(self.P) if self.bounds(r)[0] < self.bounds(r)[1]]
+
+    def scatter(self, A: np.ndarray) -> dict[int, np.ndarray]:
+        """Initial data distribution (not counted as communication)."""
+        return {r: A[slice(*self.bounds(r))].copy() for r in self.active_ranks}

@@ -1,0 +1,156 @@
+"""BLAS-like primitives with flop accounting.
+
+The heavy lifting is delegated to NumPy's vectorized operations (the
+HPC-Python idiom: never loop over matrix elements in Python when a
+single array expression does the job), but the *algorithms* built on
+top of these primitives are entirely our own.
+
+Flop conventions (LAPACK working-note style, real double precision):
+
+===============================  =======================
+``gemm``   C ± A·B               ``2·m·n·k``
+``trsm``   triangular solve      ``m·n·k`` -> ``n²·m`` (see functions)
+``ger``    rank-1 update         ``2·m·n``
+``laswp``  row interchanges      0 flops, ``2·n`` words per swap
+===============================  =======================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.counters import add_call, add_flops, add_words
+
+__all__ = ["gemm", "trsm_llnu", "trsm_runn", "ger", "laswp", "scal_axpy_col"]
+
+
+def gemm(C: np.ndarray, A: np.ndarray, B: np.ndarray, alpha: float = -1.0, beta: float = 1.0) -> np.ndarray:
+    """General matrix multiply-accumulate: ``C <- beta*C + alpha*A@B`` in place.
+
+    This is the trailing-matrix ``task S`` kernel of the paper's
+    Algorithm 1 (``dgemm``).
+
+    Parameters
+    ----------
+    C : (m, n) array, updated in place.
+    A : (m, k) array.
+    B : (k, n) array.
+    alpha, beta : scalars; the common LU-update call is
+        ``gemm(C, L, U)`` i.e. ``C -= L@U``.
+    """
+    m, k = A.shape
+    k2, n = B.shape
+    if k != k2 or C.shape != (m, n):
+        raise ValueError(f"gemm shape mismatch: C{C.shape}, A{A.shape}, B{B.shape}")
+    add_call("gemm")
+    add_flops(2 * m * n * k)
+    if beta == 1.0:
+        if alpha == 1.0:
+            C += A @ B
+        elif alpha == -1.0:
+            C -= A @ B
+        else:
+            C += alpha * (A @ B)
+    else:
+        C *= beta
+        C += alpha * (A @ B)
+    return C
+
+
+def trsm_llnu(L: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``L X = B`` in place in ``B`` — Left, Lower, No-transpose, Unit diagonal.
+
+    Used for computing a block row of U (``task U``):
+    ``U_{K,J} = L_{KK}^{-1} A_{K,J}``.
+
+    Implemented by forward substitution over rows, each step a
+    vectorized rank-update of the remaining rows.
+    """
+    k = L.shape[0]
+    if L.shape != (k, k) or B.shape[0] != k:
+        raise ValueError(f"trsm_llnu shape mismatch: L{L.shape}, B{B.shape}")
+    n = B.shape[1]
+    add_call("trsm_llnu")
+    add_flops(k * (k - 1) * n)  # k-1 axpy rows of length n, twice per flop pair
+    for i in range(1, k):
+        # B[i] -= L[i, :i] @ B[:i]  (unit diagonal, no division)
+        B[i] -= L[i, :i] @ B[:i]
+    return B
+
+
+def trsm_runn(U: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``X U = B`` in place in ``B`` — Right, Upper, No-transpose, Non-unit.
+
+    Used for computing a block column of L (``task L``):
+    ``L_{I,K} = A_{I,K} U_{KK}^{-1}``.
+    """
+    k = U.shape[0]
+    if U.shape != (k, k) or B.shape[1] != k:
+        raise ValueError(f"trsm_runn shape mismatch: U{U.shape}, B{B.shape}")
+    m = B.shape[0]
+    add_call("trsm_runn")
+    add_flops(m * k * k)  # m·k divisions + m·k·(k-1) mul-adds
+    for j in range(k):
+        if j:
+            B[:, j] -= B[:, :j] @ U[:j, j]
+        B[:, j] /= U[j, j]
+    return B
+
+
+def ger(A: np.ndarray, x: np.ndarray, y: np.ndarray, alpha: float = -1.0) -> np.ndarray:
+    """Rank-1 update ``A <- A + alpha * outer(x, y)`` in place.
+
+    The inner kernel of unblocked (BLAS2) LU: one call per eliminated
+    column.  The paper's claim that each column elimination is a rank-1
+    update of the trailing matrix (important for stability) corresponds
+    to this kernel.
+    """
+    m, n = A.shape
+    if x.shape != (m,) or y.shape != (n,):
+        raise ValueError(f"ger shape mismatch: A{A.shape}, x{x.shape}, y{y.shape}")
+    add_call("ger")
+    add_flops(2 * m * n)
+    if alpha == -1.0:
+        A -= np.outer(x, y)
+    else:
+        A += alpha * np.outer(x, y)
+    return A
+
+
+def scal_axpy_col(A: np.ndarray, j: int) -> None:
+    """Eliminate column *j* of the active submatrix of ``A`` in place.
+
+    Scales ``A[j+1:, j]`` by ``1/A[j, j]`` and applies the rank-1
+    update to ``A[j+1:, j+1:]``.  This is the body of the classical
+    ``getf2`` loop, factored out so that both the pivoted and the
+    no-pivoting eliminations share it.
+    """
+    m, n = A.shape
+    piv = A[j, j]
+    if piv == 0.0:
+        raise ZeroDivisionError(f"zero pivot at position {j}")
+    add_flops(m - j - 1)
+    A[j + 1 :, j] /= piv
+    if j + 1 < n:
+        ger(A[j + 1 :, j + 1 :], A[j + 1 :, j], A[j, j + 1 :])
+
+
+def laswp(A: np.ndarray, piv: np.ndarray, forward: bool = True) -> np.ndarray:
+    """Apply a sequence of row interchanges to ``A`` in place (``dlaswp``).
+
+    Parameters
+    ----------
+    A : (m, n) array.
+    piv : int array; ``piv[i] = p`` means "swap row ``i`` with row ``p``"
+        applied in increasing ``i`` for ``forward=True`` (factor-time
+        order) and decreasing ``i`` otherwise (undo order).
+    """
+    n = A.shape[1]
+    add_call("laswp")
+    order = range(len(piv)) if forward else range(len(piv) - 1, -1, -1)
+    for i in order:
+        p = int(piv[i])
+        if p != i:
+            add_words(2 * n)
+            A[[i, p]] = A[[p, i]]
+    return A

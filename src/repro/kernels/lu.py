@@ -1,0 +1,184 @@
+"""Sequential LU factorization kernels.
+
+Three variants, mirroring the routines the paper names:
+
+``getf2``
+    Unblocked BLAS2 Gaussian elimination with partial pivoting — the
+    LAPACK panel kernel whose poor multicore performance (``MKL_dgetf2``
+    in the paper's Figures 5-6) motivates TSLU.
+``rgetf2``
+    Recursive LU with partial pivoting (Toledo 1997; Gustavson 1997) —
+    the paper's preferred *sequential* kernel inside TSLU tasks
+    ("the best results are obtained by using recursive LU").
+``getrf``
+    Blocked right-looking LU — the structure of the vendor ``dgetrf``
+    the paper compares against.
+
+All variants factor in place: on return ``A`` holds ``L`` strictly
+below the diagonal (unit diagonal implicit) and ``U`` on and above it.
+They return the pivot vector in LAPACK ``ipiv`` convention
+(``piv[i] = p`` means rows ``i`` and ``p`` were swapped at step ``i``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.counters import add_call, add_comparisons, add_flops
+from repro.kernels.blas import gemm, ger, laswp, trsm_llnu
+
+__all__ = ["getf2", "getf2_nopiv", "rgetf2", "getrf", "piv_to_perm", "perm_from_piv_rows"]
+
+
+def getf2(A: np.ndarray) -> np.ndarray:
+    """Unblocked LU with partial pivoting, in place. Returns ``piv``.
+
+    For an ``m x n`` matrix with ``m >= n`` this performs
+    ``n²·m − n³/3`` flops (leading order), all of it in BLAS2 ``ger``
+    updates — memory-bound, which is exactly why the paper's TSLU
+    replaces it on the critical path.
+    """
+    m, n = A.shape
+    r = min(m, n)
+    add_call("getf2")
+    piv = np.arange(r, dtype=np.int64)
+    for j in range(r):
+        p = j + int(np.argmax(np.abs(A[j:, j])))
+        add_comparisons(m - j - 1)
+        piv[j] = p
+        if p != j:
+            A[[j, p]] = A[[p, j]]
+        if A[j, j] == 0.0:
+            # Singular column: nothing to eliminate, matching LAPACK's
+            # behaviour of leaving an exact zero pivot in place.
+            continue
+        add_flops(m - j - 1)
+        A[j + 1 :, j] /= A[j, j]
+        if j + 1 < n:
+            ger(A[j + 1 :, j + 1 :], A[j + 1 :, j], A[j, j + 1 :])
+    return piv
+
+
+def getf2_nopiv(A: np.ndarray) -> None:
+    """Unblocked LU *without* pivoting, in place.
+
+    Used on a panel whose tournament-selected pivot rows have already
+    been swapped to the top: CALU's second TSLU step.
+    """
+    m, n = A.shape
+    add_call("getf2_nopiv")
+    for j in range(min(m, n)):
+        if A[j, j] == 0.0:
+            raise ZeroDivisionError(f"zero pivot at {j} in no-pivoting LU")
+        add_flops(m - j - 1)
+        A[j + 1 :, j] /= A[j, j]
+        if j + 1 < n:
+            ger(A[j + 1 :, j + 1 :], A[j + 1 :, j], A[j, j + 1 :])
+
+
+def rgetf2(A: np.ndarray, threshold: int = 16) -> np.ndarray:
+    """Recursive LU with partial pivoting (Toledo), in place. Returns ``piv``.
+
+    Splits the columns in half, factors the left half recursively,
+    applies pivots and a triangular solve to the right half, updates,
+    and factors the trailing part recursively.  Recursion turns almost
+    all the work into ``gemm`` calls, giving BLAS3 cache behaviour
+    without an explicit block size — the property the paper exploits to
+    make each TSLU leaf task fast.
+
+    Parameters
+    ----------
+    A : (m, n) array with ``m >= n``.
+    threshold : column count below which to fall back to ``getf2``.
+    """
+    m, n = A.shape
+    if m < n:
+        raise ValueError(f"rgetf2 requires m >= n, got {A.shape}")
+    add_call("rgetf2")
+    if n <= threshold:
+        return getf2(A)
+    n1 = n // 2
+    left, right = A[:, :n1], A[:, n1:]
+    piv1 = rgetf2(left, threshold)
+    laswp(right, piv1)
+    trsm_llnu(_unit_lower(left[:n1]), right[:n1])
+    gemm(right[n1:], left[n1:], right[:n1])
+    piv2 = rgetf2(right[n1:], threshold)
+    laswp(left[n1:], piv2)
+    return np.concatenate([piv1, piv2 + n1])
+
+
+def getrf(A: np.ndarray, b: int = 64, panel: str = "getf2") -> np.ndarray:
+    """Blocked right-looking LU with partial pivoting, in place.
+
+    The reference structure of vendor ``dgetrf``: factor a ``b``-wide
+    panel with the BLAS2 (or recursive) kernel, apply the pivots across
+    the full width, solve for the block row of ``U`` and update the
+    trailing matrix with ``gemm``.
+
+    Parameters
+    ----------
+    A : (m, n) array.
+    b : panel width.
+    panel : ``"getf2"`` or ``"rgetf2"`` — which sequential kernel
+        factors each panel.
+    """
+    m, n = A.shape
+    r = min(m, n)
+    add_call("getrf")
+    panel_fn = {"getf2": getf2, "rgetf2": rgetf2}[panel]
+    piv = np.arange(r, dtype=np.int64)
+    for k in range(0, r, b):
+        bk = min(b, r - k)
+        pk = panel_fn(A[k:, k : k + bk])
+        piv[k : k + bk] = pk + k
+        # Apply the panel's pivots to the left and right of the panel.
+        laswp(A[k:, :k], pk)
+        laswp(A[k:, k + bk :], pk)
+        if k + bk < n:
+            trsm_llnu(_unit_lower(A[k : k + bk, k : k + bk]), A[k : k + bk, k + bk :])
+            if k + bk < m:
+                gemm(A[k + bk :, k + bk :], A[k + bk :, k : k + bk], A[k : k + bk, k + bk :])
+    return piv
+
+
+def piv_to_perm(piv: np.ndarray, m: int) -> np.ndarray:
+    """Convert a LAPACK-style swap sequence into a permutation vector.
+
+    Returns ``perm`` such that ``A[perm]`` equals the matrix obtained by
+    applying the swaps ``(i, piv[i])`` in increasing ``i`` to ``A``.
+    """
+    perm = np.arange(m, dtype=np.int64)
+    for i in range(len(piv)):
+        p = int(piv[i])
+        if p != i:
+            perm[[i, p]] = perm[[p, i]]
+    return perm
+
+
+def perm_from_piv_rows(rows: np.ndarray, m: int) -> np.ndarray:
+    """Swap sequence bringing global ``rows`` to the leading positions.
+
+    Given the ``b`` tournament-selected pivot rows (global indices into
+    an ``m``-row panel), produce a LAPACK-style swap sequence ``piv`` of
+    length ``b`` such that applying swaps ``(i, piv[i])`` in order moves
+    row ``rows[i]`` into position ``i``.
+    """
+    pos = np.arange(m, dtype=np.int64)  # pos[r] = current location of original row r
+    loc = np.arange(m, dtype=np.int64)  # loc[i] = original row currently at slot i
+    piv = np.empty(len(rows), dtype=np.int64)
+    for i, r in enumerate(rows):
+        p = int(pos[r])
+        piv[i] = p
+        if p != i:
+            ri, rp = loc[i], loc[p]
+            loc[i], loc[p] = rp, ri
+            pos[ri], pos[rp] = p, i
+    return piv
+
+
+def _unit_lower(B: np.ndarray) -> np.ndarray:
+    """View-with-copy of the unit lower-triangular factor stored in ``B``."""
+    L = np.tril(B, -1)
+    np.fill_diagonal(L, 1.0)
+    return L

@@ -1,0 +1,22 @@
+"""Analytic multicore machine models.
+
+The paper measures wall-clock GFLOP/s on two real machines (a
+dual-socket quad-core Intel Xeon and a quad-socket quad-core AMD
+Opteron).  We substitute an analytic model with the four ingredients
+that produce every effect in the paper's evaluation:
+
+1. per-kernel efficiency curves (BLAS3 ``gemm`` saturates with the
+   inner dimension; BLAS2 ``getf2``/``geqr2`` are memory-bound),
+2. a shared memory-bandwidth roofline (bus contention between
+   memory-bound tasks),
+3. per-task scheduling overhead (the paper's "time spent in the
+   scheduling itself can lead to a loss of performance"),
+4. synchronization latency on task-graph edges that cross cores
+   (reduction trees pay ``O(log2 Tr)`` of these per panel).
+"""
+
+from repro.machine.calibrate import calibrate_host
+from repro.machine.model import KernelProfile, MachineModel
+from repro.machine.presets import amd16_acml, generic, intel8_mkl
+
+__all__ = ["KernelProfile", "MachineModel", "amd16_acml", "calibrate_host", "generic", "intel8_mkl"]

@@ -1,0 +1,36 @@
+"""Task-graph runtime.
+
+The paper's algorithms are expressed as *task graphs*: each matrix
+operation (a TSLU tree node, a ``dtrsm`` on a block of L, a ``dgemm``
+trailing update, ...) is a task; edges are data dependencies discovered
+from the blocks each task reads and writes.  The same graph can be
+
+* executed by real threads (:class:`~repro.runtime.threaded.ThreadedExecutor`)
+  for numerical results and concurrency validation, or
+* replayed in virtual time on a modelled multicore machine
+  (:class:`~repro.runtime.simulated.SimulatedExecutor`) to reproduce
+  the paper's GFLOP/s measurements and execution diagrams at full
+  paper-scale dimensions.
+"""
+
+from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.scheduler import ReadyQueue
+from repro.runtime.simulated import SimulatedExecutor
+from repro.runtime.stealing import WorkStealingExecutor
+from repro.runtime.task import Cost, Task, TaskKind
+from repro.runtime.threaded import ThreadedExecutor
+from repro.runtime.trace import TaskRecord, Trace
+
+__all__ = [
+    "BlockTracker",
+    "Cost",
+    "ReadyQueue",
+    "SimulatedExecutor",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+    "TaskRecord",
+    "ThreadedExecutor",
+    "Trace",
+    "WorkStealingExecutor",
+]

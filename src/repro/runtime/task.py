@@ -1,0 +1,99 @@
+"""Task and cost descriptors.
+
+A :class:`Task` couples an optional numeric closure (``fn``) with a
+:class:`Cost` descriptor.  Builders in :mod:`repro.core` and
+:mod:`repro.baselines` emit the *same* graph in two modes:
+
+* numeric — ``fn`` mutates shared NumPy buffers; the threaded executor
+  runs it for real results;
+* symbolic — ``fn is None``; only the cost metadata exists, which lets
+  the simulated executor price paper-scale problems (``10^6 x 500``)
+  without doing the arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["TaskKind", "Cost", "Task"]
+
+
+class TaskKind(enum.Enum):
+    """Task classes of the paper's Algorithms 1 and 2.
+
+    ``P``  panel/TSLU/TSQR reduction step (paper: red),
+    ``L``  block column of L via ``dtrsm`` (paper: yellow),
+    ``U``  permute + block row of U via ``dtrsm``,
+    ``S``  trailing-matrix update via ``dgemm``/``dlarfb`` (paper: green),
+    ``X``  bookkeeping (final left permutations, copies).
+    """
+
+    P = "P"
+    L = "L"
+    U = "U"
+    S = "S"
+    X = "X"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Cost:
+    """What a task costs, independent of who executes it.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel name used to look up a :class:`~repro.machine.model.KernelProfile`
+        (``"gemm"``, ``"getf2"``, ``"rgetf2"``, ``"geqr3"``, ``"tpqrt_ts"``, ...).
+    m, n, k:
+        Kernel dimensions; their meaning follows the kernel's BLAS/LAPACK
+        signature (``k`` is the inner/panel dimension for ``gemm``-like
+        kernels and 0 when unused).
+    flops:
+        Floating-point operations the task performs.
+    words:
+        Words (8-byte elements) of memory traffic the task generates;
+        drives the roofline/bandwidth model and the communication
+        counters.  For zero-flop tasks (row swaps, candidate copies)
+        this is the entire cost.
+    library:
+        Which "library personality" prices this task on the machine
+        model: ``"repro"`` (our kernels), ``"mkl"``, ``"acml"``,
+        ``"plasma"``.  Lets one machine model rank all the competitors
+        the paper compares.
+    """
+
+    kernel: str
+    m: int = 0
+    n: int = 0
+    k: int = 0
+    flops: float = 0.0
+    words: float = 0.0
+    library: str = "repro"
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    ``priority`` is a static hint: larger runs earlier among *ready*
+    tasks (dependencies always dominate).  Builders encode the paper's
+    look-ahead rule by boosting the panel tasks and the updates of
+    block column ``K+1``.
+    """
+
+    tid: int
+    name: str
+    kind: TaskKind
+    cost: Cost
+    fn: Callable[[], None] | None = None
+    priority: float = 0.0
+    iteration: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task({self.tid}, {self.name!r}, kind={self.kind.value}, prio={self.priority:g})"

@@ -1,0 +1,76 @@
+"""Tests for the closed-form communication analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.communication import (
+    factorization_messages_ca,
+    factorization_messages_classic,
+    panel_messages_ca,
+    panel_messages_classic,
+    panel_words_ca,
+    sync_reduction_factor,
+)
+from repro.core.trees import TreeKind
+
+
+def test_classic_panel_one_sync_per_column():
+    assert panel_messages_classic(100, 8) == 100 * 3
+    assert panel_messages_classic(100, 1) == 0
+
+
+def test_ca_panel_log_syncs():
+    assert panel_messages_ca(8, TreeKind.BINARY) == 3
+    assert panel_messages_ca(16, TreeKind.BINARY) == 4
+    assert panel_messages_ca(8, TreeKind.FLAT) == 1
+    assert panel_messages_ca(1) == 0
+
+
+def test_words_independent_of_tree_shape():
+    """Any tree performs exactly Tr-1 merges of b x b candidates."""
+    for tree in TreeKind:
+        assert panel_words_ca(50, 8, tree) == 7 * 2500
+
+
+def test_sync_reduction_is_b_for_binary():
+    """The paper's headline claim, exactly: b-fold fewer synchronizations."""
+    assert sync_reduction_factor(100, 8, TreeKind.BINARY) == 100.0
+    assert sync_reduction_factor(64, 16, TreeKind.BINARY) == 64.0
+
+
+def test_flat_tree_reduces_even_more():
+    assert sync_reduction_factor(100, 8, TreeKind.FLAT) > sync_reduction_factor(
+        100, 8, TreeKind.BINARY
+    )
+
+
+def test_factorization_totals_scale_with_panels():
+    assert factorization_messages_classic(1000, 100, 8) == 10 * 300
+    assert factorization_messages_ca(1000, 100, 8) == 10 * 3
+
+
+def test_single_participant_no_messages():
+    assert sync_reduction_factor(100, 1) == 1.0
+
+
+def test_matches_structural_panel_depth():
+    """The closed form equals the measured dependency depth of the TSLU
+    task graph (minus leaves and finalize)."""
+    from tests.integration.test_sync_counts import panel_depth
+
+    for tr in (2, 4, 8):
+        depth = panel_depth(6400, 100, tr, TreeKind.BINARY)
+        assert depth - 2 == panel_messages_ca(tr, TreeKind.BINARY)
+        depth_flat = panel_depth(6400, 100, tr, TreeKind.FLAT)
+        assert depth_flat - 2 == panel_messages_ca(tr, TreeKind.FLAT)
+
+
+@given(st.integers(1, 512), st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_property_ca_never_worse(b, tr):
+    assert panel_messages_ca(tr, TreeKind.BINARY) <= max(1, panel_messages_classic(b, tr))
+    if tr > 1 and b > 1:
+        assert sync_reduction_factor(b, tr) == b

@@ -1,0 +1,111 @@
+"""Tests for workloads, tables and method runners."""
+
+import numpy as np
+import pytest
+
+from repro.bench.methods import lu_graph, qr_graph, simulate_lu, simulate_qr
+from repro.bench.tables import Series, Table
+from repro.bench.workloads import (
+    ill_conditioned,
+    near_rank_deficient,
+    random_matrix,
+    vandermonde_ls,
+)
+from repro.machine.presets import generic
+
+
+class TestWorkloads:
+    def test_random_matrix_deterministic(self):
+        np.testing.assert_array_equal(random_matrix(5, 3, seed=7), random_matrix(5, 3, seed=7))
+
+    def test_ill_conditioned_cond(self):
+        A = ill_conditioned(40, 40, cond=1e8, seed=1)
+        c = np.linalg.cond(A)
+        assert 1e7 < c < 1e9
+
+    def test_near_rank_deficient(self):
+        A = near_rank_deficient(30, 20, rank=5, noise=0.0, seed=2)
+        assert np.linalg.matrix_rank(A) == 5
+
+    def test_vandermonde_ls(self):
+        A, rhs, coeffs = vandermonde_ls(100, 4, seed=3)
+        assert A.shape == (100, 5)
+        x = np.linalg.lstsq(A, rhs, rcond=None)[0]
+        np.testing.assert_allclose(x, coeffs, atol=1e-5)
+
+
+class TestTable:
+    def make(self):
+        return Table(
+            title="t",
+            row_header="n",
+            row_labels=["10", "20"],
+            col_labels=["a", "b"],
+            values=np.array([[1.0, 2.0], [3.0, 4.0]]),
+            notes=["note"],
+        )
+
+    def test_cell_and_column(self):
+        t = self.make()
+        assert t.cell("20", "a") == 3.0
+        np.testing.assert_array_equal(t.column("b"), [2.0, 4.0])
+
+    def test_ratio(self):
+        t = self.make()
+        np.testing.assert_allclose(t.ratio("b", "a"), [2.0, 4.0 / 3.0])
+
+    def test_format_contains_everything(self):
+        s = t = self.make().format()
+        for token in ("t", "a", "b", "10", "20", "note"):
+            assert token in s
+
+    def test_series(self):
+        s = Series("x", [1, 2], [3.0, 4.0])
+        assert s.label == "x"
+
+
+class TestMethodRunners:
+    @pytest.mark.parametrize(
+        "method", ["calu", "mkl_getrf", "acml_getrf", "mkl_getf2", "plasma_getrf"]
+    )
+    def test_lu_graphs_build_and_validate(self, method):
+        g = lu_graph(method, 2000, 400, tr=4)
+        g.validate()
+        assert g.total_flops() > 0
+
+    @pytest.mark.parametrize(
+        "method", ["caqr", "tsqr", "mkl_geqrf", "acml_geqrf", "mkl_geqr2", "plasma_geqrf"]
+    )
+    def test_qr_graphs_build_and_validate(self, method):
+        g = qr_graph(method, 2000, 400, tr=4)
+        g.validate()
+        assert g.total_flops() > 0
+
+    def test_unknown_methods(self):
+        with pytest.raises(ValueError):
+            lu_graph("nope", 100, 100)
+        with pytest.raises(ValueError):
+            qr_graph("nope", 100, 100)
+
+    def test_simulate_lu_returns_rate(self):
+        r = simulate_lu("calu", 4000, 400, generic(4), tr=4)
+        assert r.gflops > 0
+        assert r.trace.makespan > 0
+        r.trace.validate_schedule(r.graph)
+
+    def test_simulate_qr_returns_rate(self):
+        r = simulate_qr("tsqr", 4000, 100, generic(4), tr=4)
+        assert r.gflops > 0
+
+    def test_tsqr_is_single_panel(self):
+        g = qr_graph("tsqr", 5000, 200, tr=4)
+        # No trailing updates: every task is a panel task.
+        assert set(t.kind.value for t in g.tasks) == {"P"}
+
+    def test_gflops_normalized_by_standard_count(self):
+        """CALU's extra flops cost time but are not credited as work."""
+        from repro.analysis.flops import lu_flops
+
+        mach = generic(4)
+        r = simulate_lu("calu", 4000, 400, mach, tr=4)
+        assert r.gflops == pytest.approx(lu_flops(4000, 400) / r.trace.makespan / 1e9)

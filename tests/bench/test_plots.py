@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.bench.plots import ascii_chart
+from repro.bench.tables import Table
+
+
+def make_table(values, rows=None, cols=None, **kw):
+    values = np.asarray(values, dtype=float)
+    return Table(
+        title="test chart",
+        row_header="n",
+        row_labels=rows or [str(i) for i in range(values.shape[0])],
+        col_labels=cols or [f"c{j}" for j in range(values.shape[1])],
+        values=values,
+        **kw,
+    )
+
+
+def test_contains_markers_and_legend():
+    t = make_table([[1.0, 2.0], [3.0, 4.0], [2.0, 8.0]])
+    out = ascii_chart(t)
+    assert "o=c0" in out and "x=c1" in out
+    assert "o" in out and "x" in out
+
+
+def test_row_labels_on_axis():
+    t = make_table([[1.0], [2.0], [3.0]], rows=["10", "500", "1000"])
+    out = ascii_chart(t)
+    last = out.splitlines()[-2]
+    assert "10" in last and "1000" in last
+
+
+def test_max_value_at_top_row():
+    t = make_table([[0.0], [10.0]])
+    lines = ascii_chart(t, height=10).splitlines()
+    # First grid line holds the maximum.
+    assert "o" in lines[1]
+
+
+def test_log_scale():
+    t = make_table([[0.1], [1000.0]])
+    out = ascii_chart(t, logy=True)
+    assert "(log y-axis)" in out
+
+
+def test_constant_series_no_crash():
+    t = make_table([[5.0], [5.0]])
+    assert "o" in ascii_chart(t)
+
+
+def test_empty():
+    t = make_table(np.zeros((0, 0)).reshape(0, 0))
+    assert ascii_chart(t) == "(empty chart)"
+
+
+def test_table_format_embeds_chart():
+    t = make_table([[1.0, 2.0], [3.0, 4.0]], chart=True)
+    out = t.format()
+    assert "series:" in out
+
+
+def test_table_format_without_chart():
+    t = make_table([[1.0, 2.0], [3.0, 4.0]])
+    assert "series:" not in t.format()

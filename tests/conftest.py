@@ -1,0 +1,37 @@
+"""Shared fixtures and assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.lu import piv_to_perm
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def assert_lu_ok(A0: np.ndarray, lu: np.ndarray, piv: np.ndarray, tol: float = 1e-12) -> None:
+    """Check ``A0[perm] == L U`` for a packed in-place LU factorization."""
+    m, n = A0.shape
+    r = min(m, n)
+    L = np.tril(lu[:, :r], -1)
+    np.fill_diagonal(L, 1.0)
+    U = np.triu(lu[:r, :])
+    perm = piv_to_perm(piv, m)
+    err = np.linalg.norm(A0[perm] - L @ U) / max(np.linalg.norm(A0), 1e-300)
+    assert err < tol, f"LU backward error {err:.3e} exceeds {tol:.1e}"
+
+
+def assert_qr_ok(A0: np.ndarray, Q: np.ndarray, R: np.ndarray, tol: float = 1e-12) -> None:
+    """Check ``A0 == Q R`` and ``Q`` has orthonormal columns."""
+    err = np.linalg.norm(A0 - Q @ R) / max(np.linalg.norm(A0), 1e-300)
+    orth = np.linalg.norm(Q.T @ Q - np.eye(Q.shape[1]))
+    assert err < tol, f"QR backward error {err:.3e} exceeds {tol:.1e}"
+    assert orth < tol * 10, f"orthogonality error {orth:.3e} exceeds {tol * 10:.1e}"

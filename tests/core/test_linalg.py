@@ -1,0 +1,130 @@
+"""Tests for the high-level solver API (repro.linalg)."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.core.calu import calu
+from repro.linalg import condest_1, det, iterative_refinement, lstsq, slogdet, solve
+from tests.conftest import make_rng
+
+
+class TestSolve:
+    def test_matches_scipy(self):
+        A = make_rng(0).standard_normal((120, 120))
+        rhs = make_rng(1).standard_normal(120)
+        np.testing.assert_allclose(solve(A, rhs), scipy.linalg.solve(A, rhs), rtol=1e-8, atol=1e-10)
+
+    def test_refinement_improves(self):
+        from repro.bench.workloads import ill_conditioned
+
+        A = ill_conditioned(100, 100, cond=1e12, seed=2)
+        x_true = make_rng(3).standard_normal(100)
+        rhs = A @ x_true
+        x0 = solve(A, rhs)
+        x1 = solve(A, rhs, refine=3)
+        assert np.linalg.norm(A @ x1 - rhs) <= np.linalg.norm(A @ x0 - rhs) * 1.01
+
+    def test_multiple_rhs(self):
+        A = make_rng(4).standard_normal((60, 60))
+        B = make_rng(5).standard_normal((60, 3))
+        X = solve(A, B)
+        np.testing.assert_allclose(A @ X, B, rtol=1e-8, atol=1e-9)
+
+
+class TestTransposedSolve:
+    def test_trans_solve(self):
+        A = make_rng(6).standard_normal((80, 80))
+        rhs = make_rng(7).standard_normal(80)
+        f = calu(A, b=20, tr=4)
+        x = f.solve(rhs, trans=True)
+        np.testing.assert_allclose(A.T @ x, rhs, rtol=1e-8, atol=1e-9)
+
+    def test_trans_matches_scipy(self):
+        A = make_rng(8).standard_normal((50, 50))
+        rhs = make_rng(9).standard_normal(50)
+        f = calu(A, b=10, tr=2)
+        np.testing.assert_allclose(
+            f.solve(rhs, trans=True), scipy.linalg.solve(A.T, rhs), rtol=1e-8, atol=1e-9
+        )
+
+
+class TestLstsq:
+    def test_matches_numpy(self):
+        A = make_rng(10).standard_normal((200, 30))
+        rhs = make_rng(11).standard_normal(200)
+        x = lstsq(A, rhs)
+        x_ref = np.linalg.lstsq(A, rhs, rcond=None)[0]
+        np.testing.assert_allclose(x, x_ref, rtol=1e-8, atol=1e-10)
+
+
+class TestIterativeRefinement:
+    def test_history_monotone_enough(self):
+        A = make_rng(12).standard_normal((90, 90))
+        rhs = make_rng(13).standard_normal(90)
+        f = calu(A, b=30, tr=2)
+        x, hist = iterative_refinement(A, f, rhs, max_iters=3)
+        assert len(hist) >= 2
+        assert hist[-1] <= hist[0] * 10  # never blows up
+        np.testing.assert_allclose(A @ x, rhs, rtol=1e-9, atol=1e-9)
+
+    def test_early_stop_on_tol(self):
+        A = make_rng(14).standard_normal((40, 40))
+        rhs = make_rng(15).standard_normal(40)
+        f = calu(A, b=10, tr=2)
+        _, hist = iterative_refinement(A, f, rhs, max_iters=10, tol=1e-6)
+        assert len(hist) < 11
+
+
+class TestCondest:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_within_factor_of_true(self, seed):
+        A = make_rng(seed).standard_normal((60, 60))
+        f = calu(A, b=15, tr=4)
+        est = condest_1(f, a=A)
+        true = np.linalg.cond(A, 1)
+        assert true / 10 <= est <= true * 10
+
+    def test_ill_conditioned_detected(self):
+        from repro.bench.workloads import ill_conditioned
+
+        A = ill_conditioned(80, 80, cond=1e10, seed=5)
+        f = calu(A, b=20, tr=4)
+        est = condest_1(f, a=A)
+        assert est > 1e7
+
+    def test_identity(self):
+        A = np.eye(30)
+        f = calu(A, b=10, tr=2)
+        assert condest_1(f, a=A) == pytest.approx(1.0, rel=0.5)
+
+    def test_requires_norm_or_matrix(self):
+        f = calu(np.eye(10), b=5, tr=1)
+        with pytest.raises(ValueError):
+            condest_1(f)
+
+    def test_rectangular_rejected(self):
+        f = calu(make_rng(6).standard_normal((20, 10)), b=5, tr=2)
+        with pytest.raises(ValueError):
+            condest_1(f, anorm=1.0)
+
+
+class TestDeterminant:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_slogdet_matches_numpy(self, seed):
+        A = make_rng(seed + 50).standard_normal((40, 40))
+        f = calu(A, b=10, tr=4)
+        sign, logdet = slogdet(f)
+        sign_ref, logdet_ref = np.linalg.slogdet(A)
+        assert sign == pytest.approx(sign_ref)
+        assert logdet == pytest.approx(logdet_ref, rel=1e-8)
+
+    def test_det_small_matrix(self):
+        A = np.array([[2.0, 1.0], [1.0, 3.0]])
+        f = calu(A, b=2, tr=1)
+        assert det(f) == pytest.approx(5.0, rel=1e-12)
+
+    def test_rectangular_rejected(self):
+        f = calu(make_rng(7).standard_normal((12, 6)), b=3, tr=2)
+        with pytest.raises(ValueError):
+            slogdet(f)

@@ -1,0 +1,55 @@
+"""Tests for the look-ahead priority scheme."""
+
+from repro.core.priorities import task_priority
+
+
+def test_panel_outranks_everything_in_its_iteration():
+    K = 3
+    p = task_priority("P", K)
+    for kind in ("F", "L", "U", "S", "X"):
+        assert p > task_priority(kind, K, J=K + 2)
+
+
+def test_earlier_iterations_outrank_later():
+    assert task_priority("S", 1, J=5) > task_priority("S", 2, J=5)
+    assert task_priority("P", 0) > task_priority("P", 1)
+
+
+def test_lookahead_1_boosts_next_column():
+    """Updates of column K+1 outrank other updates of iteration K (paper)."""
+    K = 2
+    boosted = task_priority("S", K, J=K + 1, lookahead=1)
+    plain = task_priority("S", K, J=K + 3, lookahead=1)
+    assert boosted < task_priority("P", K)  # never above the current panel
+    assert boosted > plain
+
+
+def test_lookahead_1_next_panel_outranks_remaining_updates():
+    """After col-(K+1) updates, panel K+1 runs before iteration-K leftovers."""
+    K = 2
+    next_panel = task_priority("P", K + 1, lookahead=1)
+    leftover = task_priority("S", K, J=K + 4, lookahead=1)
+    assert next_panel > leftover
+
+
+def test_lookahead_0_no_column_boost():
+    K = 2
+    a = task_priority("S", K, J=K + 1, lookahead=0, n_cols=10)
+    b = task_priority("S", K, J=K + 3, lookahead=0, n_cols=10)
+    # No era boost: both sit in iteration K, mild left-first ordering only.
+    assert abs(a - b) < 1.0
+    assert a > b
+
+
+def test_lookahead_infinite_orders_by_column():
+    K = 0
+    cols = [task_priority("S", K, J=j, lookahead=-1) for j in range(1, 6)]
+    assert cols == sorted(cols, reverse=True)
+
+
+def test_u_before_s_same_column():
+    assert task_priority("U", 1, J=4) > task_priority("S", 1, J=4)
+
+
+def test_finalize_between_p_and_l():
+    assert task_priority("P", 2) > task_priority("F", 2) > task_priority("L", 2)

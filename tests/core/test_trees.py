@@ -1,0 +1,120 @@
+"""Tests for reduction-tree schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trees import TreeKind, reduction_schedule, tree_height
+
+
+def simulate_merges(n_leaves, levels):
+    """Replay a merge schedule; return the set of leaves merged into slot 0."""
+    contents = {i: {i} for i in range(n_leaves)}
+    for level in levels:
+        dsts = set()
+        for dst, srcs in level:
+            assert dst == srcs[0]
+            assert dst not in dsts, "two merges target the same slot in one level"
+            dsts.add(dst)
+            merged = set()
+            for s in srcs:
+                merged |= contents[s]
+            contents[dst] = merged
+    return contents[0]
+
+
+class TestBinary:
+    def test_single_leaf_no_merges(self):
+        assert reduction_schedule(1, TreeKind.BINARY) == []
+
+    def test_two_leaves(self):
+        assert reduction_schedule(2, TreeKind.BINARY) == [[(0, [0, 1])]]
+
+    def test_four_leaves_matches_paper(self):
+        levels = reduction_schedule(4, TreeKind.BINARY)
+        assert levels == [[(0, [0, 1]), (2, [2, 3])], [(0, [0, 2])]]
+
+    def test_height_log2(self):
+        assert tree_height(8, TreeKind.BINARY) == 3
+        assert tree_height(16, TreeKind.BINARY) == 4
+
+    def test_odd_leaf_count_carries_over(self):
+        levels = reduction_schedule(5, TreeKind.BINARY)
+        assert simulate_merges(5, levels) == set(range(5))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+    def test_all_leaves_reach_root(self, n):
+        levels = reduction_schedule(n, TreeKind.BINARY)
+        assert simulate_merges(n, levels) == set(range(n))
+
+
+class TestFlat:
+    def test_single_level(self):
+        levels = reduction_schedule(6, TreeKind.FLAT)
+        assert len(levels) == 1
+        assert levels[0] == [(0, [0, 1, 2, 3, 4, 5])]
+
+    def test_height_one(self):
+        assert tree_height(16, TreeKind.FLAT) == 1
+
+    @pytest.mark.parametrize("n", [2, 3, 8, 17])
+    def test_all_leaves_reach_root(self, n):
+        assert simulate_merges(n, reduction_schedule(n, TreeKind.FLAT)) == set(range(n))
+
+
+class TestHybrid:
+    def test_groups_then_binary(self):
+        levels = reduction_schedule(8, TreeKind.HYBRID, arity=4)
+        # Two flat merges of 4, then one binary level over leaders 0 and 4.
+        assert levels[0] == [(0, [0, 1, 2, 3]), (4, [4, 5, 6, 7])]
+        assert levels[1] == [(0, [0, 4])]
+
+    def test_group_not_multiple(self):
+        levels = reduction_schedule(10, TreeKind.HYBRID, arity=4)
+        assert simulate_merges(10, levels) == set(range(10))
+
+    def test_arity_larger_than_leaves_is_flat(self):
+        levels = reduction_schedule(3, TreeKind.HYBRID, arity=8)
+        assert levels == [[(0, [0, 1, 2])]]
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError):
+            reduction_schedule(4, TreeKind.HYBRID, arity=1)
+
+    @pytest.mark.parametrize("n,arity", [(5, 2), (9, 3), (16, 4), (17, 5)])
+    def test_all_leaves_reach_root(self, n, arity):
+        assert simulate_merges(n, reduction_schedule(n, TreeKind.HYBRID, arity)) == set(range(n))
+
+
+def test_invalid_leaf_count():
+    with pytest.raises(ValueError):
+        reduction_schedule(0, TreeKind.BINARY)
+
+
+@given(st.integers(1, 64), st.sampled_from(list(TreeKind)), st.integers(2, 6))
+@settings(max_examples=80, deadline=None)
+def test_property_every_tree_reduces_all_leaves(n, kind, arity):
+    levels = reduction_schedule(n, kind, arity)
+    assert simulate_merges(n, levels) == set(range(n))
+    # Binary tree synchronization count is O(log2 Tr), flat is 1 (paper claim).
+    if kind is TreeKind.BINARY and n > 1:
+        import math
+
+        assert len(levels) == math.ceil(math.log2(n))
+    if kind is TreeKind.FLAT and n > 1:
+        assert len(levels) == 1
+
+
+@given(st.integers(2, 64))
+@settings(max_examples=40, deadline=None)
+def test_property_each_slot_consumed_once(n):
+    """After a slot is merged away it never appears as a source again."""
+    levels = reduction_schedule(n, TreeKind.BINARY)
+    dead: set[int] = set()
+    for level in levels:
+        for dst, srcs in level:
+            for s in srcs:
+                assert s not in dead
+            for s in srcs:
+                if s != dst:
+                    dead.add(s)

@@ -1,0 +1,201 @@
+"""Tests for the simulated distributed-memory TSLU/TSQR substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trees import TreeKind
+from repro.distmem.comm import AlphaBeta, CommLog, RowBlocks
+from repro.distmem.tslu_dist import distributed_gepp_panel, distributed_tslu
+from repro.distmem.tsqr_dist import distributed_tsqr
+from tests.conftest import assert_lu_ok, make_rng
+
+
+class TestCommLog:
+    def test_counts(self):
+        log = CommLog()
+        log.new_round()
+        log.send(0, 1, np.zeros(10))
+        log.send(2, 1, np.zeros(5))
+        log.new_round()
+        log.send(1, 0, np.zeros(3))
+        assert log.n_messages == 3
+        assert log.n_rounds == 2
+        assert log.total_words == 18
+
+    def test_self_send_is_local(self):
+        log = CommLog()
+        log.new_round()
+        log.send(1, 1, np.zeros(100))
+        assert log.n_messages == 0
+
+    def test_alpha_beta_time(self):
+        log = CommLog()
+        log.new_round()
+        log.send(0, 1, np.zeros(10))
+        log.send(2, 1, np.zeros(10))  # same receiver: serialized, 20 words
+        log.new_round()
+        log.send(1, 0, np.zeros(5))
+        t = log.time(AlphaBeta(alpha=1.0, beta=0.1))
+        assert t == pytest.approx(1.0 + 2.0 + 1.0 + 0.5)
+
+
+class TestRowBlocks:
+    def test_bounds_cover(self):
+        d = RowBlocks(103, 4)
+        rows = [d.bounds(r) for r in range(4)]
+        assert rows[0][0] == 0 and rows[-1][1] == 103
+        for (a0, a1), (b0, b1) in zip(rows, rows[1:]):
+            assert a1 == b0
+
+    def test_owner_consistent(self):
+        d = RowBlocks(50, 3)
+        for row in range(50):
+            o = d.owner(row)
+            r0, r1 = d.bounds(o)
+            assert r0 <= row < r1
+
+    def test_more_ranks_than_rows(self):
+        d = RowBlocks(3, 8)
+        assert len(d.active_ranks) <= 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RowBlocks(0, 2)
+
+
+class TestDistributedTSLU:
+    @pytest.mark.parametrize("P,tree", [(1, TreeKind.BINARY), (4, TreeKind.BINARY), (7, TreeKind.FLAT), (8, TreeKind.HYBRID)])
+    def test_factorization_correct(self, P, tree):
+        A = make_rng(P).standard_normal((320, 16))
+        res = distributed_tslu(A, P=P, tree=tree)
+        assert_lu_ok(A, res.lu, res.piv, tol=1e-11)
+
+    def test_message_rounds_log_p_binary(self):
+        A = make_rng(0).standard_normal((512, 16))
+        res = distributed_tslu(A, P=8, tree=TreeKind.BINARY)
+        # 3 tree rounds + ceil(log2 8) broadcast rounds + 1 swap round.
+        tree_rounds = 3
+        bcast_rounds = 3
+        assert res.comm.n_rounds <= tree_rounds + bcast_rounds + 1
+
+    def test_flat_tree_single_merge_round(self):
+        A = make_rng(1).standard_normal((512, 16))
+        res_flat = distributed_tslu(A, P=8, tree=TreeKind.FLAT)
+        res_bin = distributed_tslu(A, P=8, tree=TreeKind.BINARY)
+        # Flat: all candidates converge on the root in one round.
+        assert res_flat.comm.n_rounds < res_bin.comm.n_rounds
+
+    def test_same_pivots_as_shared_memory(self):
+        """With matching chunk boundaries the tournament is identical."""
+        from repro.core.tslu import tslu
+
+        P, q, b = 4, 5, 8
+        m = P * q * b  # rank blocks == shared-memory chunks
+        A = make_rng(2).standard_normal((m, b))
+        res = distributed_tslu(A, P=P, tree=TreeKind.BINARY)
+        _, piv_shared = tslu(A, tr=P, tree=TreeKind.BINARY)
+        np.testing.assert_array_equal(res.piv, piv_shared)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            distributed_tslu(np.zeros((4, 8)), P=2)
+
+
+class TestDistributedGEPP:
+    def test_factorization_correct(self):
+        A = make_rng(3).standard_normal((200, 12))
+        res = distributed_gepp_panel(A, P=4)
+        assert_lu_ok(A, res.lu, res.piv, tol=1e-11)
+
+    def test_pivots_match_sequential_gepp(self):
+        from repro.kernels.lu import getf2
+
+        A = make_rng(4).standard_normal((150, 10))
+        res = distributed_gepp_panel(A, P=4)
+        ref = A.copy()
+        piv_ref = getf2(ref)
+        np.testing.assert_array_equal(res.piv, piv_ref)
+        np.testing.assert_allclose(res.lu, ref, rtol=1e-12, atol=1e-14)
+
+    def test_needs_round_per_column(self):
+        A = make_rng(5).standard_normal((400, 20))
+        res = distributed_gepp_panel(A, P=8)
+        assert res.comm.n_rounds >= 2 * 20  # >= reduce + bcast per column
+
+
+class TestCommunicationOptimality:
+    """The paper's Section II claims, measured end to end."""
+
+    def test_tslu_needs_b_times_fewer_rounds(self):
+        b, P = 32, 8
+        A = make_rng(6).standard_normal((1024, b))
+        ca = distributed_tslu(A, P=P, tree=TreeKind.BINARY)
+        classic = distributed_gepp_panel(A, P=P)
+        ratio = classic.comm.n_rounds / ca.comm.n_rounds
+        assert ratio > b / 4  # O(b log P) vs O(log P)
+
+    def test_tslu_latency_dominated_time_advantage(self):
+        b, P = 32, 8
+        A = make_rng(7).standard_normal((1024, b))
+        ca = distributed_tslu(A, P=P, tree=TreeKind.BINARY)
+        classic = distributed_gepp_panel(A, P=P)
+        model = AlphaBeta(alpha=1e-5, beta=1e-9)  # latency-dominated network
+        assert ca.comm.time(model) < classic.comm.time(model) / 4
+
+    def test_binary_beats_flat_in_parallel_time(self):
+        """Binary trees are optimal in parallel (paper): the flat root
+        serializes P-1 receives."""
+        b, P = 16, 16
+        A = make_rng(8).standard_normal((2048, b))
+        binary = distributed_tsqr(A, P=P, tree=TreeKind.BINARY)
+        flat = distributed_tsqr(A, P=P, tree=TreeKind.FLAT)
+        model = AlphaBeta(alpha=1e-7, beta=1e-7)  # bandwidth visible
+        assert binary.comm.time(model) < flat.comm.time(model)
+        # Total volume is identical: P-1 triangles either way.
+        assert binary.comm.total_words == flat.comm.total_words
+
+
+class TestDistributedTSQR:
+    @pytest.mark.parametrize("P,tree", [(1, TreeKind.BINARY), (4, TreeKind.BINARY), (6, TreeKind.FLAT)])
+    def test_r_correct_via_gram(self, P, tree):
+        A = make_rng(P + 10).standard_normal((300, 12))
+        res = distributed_tsqr(A, P=P, tree=tree)
+        G1 = A.T @ A
+        G2 = res.R.T @ res.R
+        assert np.linalg.norm(G1 - G2) / np.linalg.norm(G1) < 1e-12
+
+    def test_r_matches_shared_memory_abs(self):
+        from repro.core.tsqr import tsqr
+
+        P, q, b = 4, 4, 8
+        m = P * q * b
+        A = make_rng(11).standard_normal((m, b))
+        res = distributed_tsqr(A, P=P, tree=TreeKind.BINARY)
+        f = tsqr(A, tr=P, tree=TreeKind.BINARY)
+        np.testing.assert_allclose(np.abs(res.R), np.abs(f.R), rtol=1e-9, atol=1e-11)
+
+    def test_triangular_payloads_only(self):
+        b, P = 16, 4
+        A = make_rng(12).standard_normal((400, b))
+        res = distributed_tsqr(A, P=P, tree=TreeKind.BINARY)
+        tri = b * (b + 1) // 2
+        assert res.comm.total_words == (P - 1) * tri
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            distributed_tsqr(np.zeros((4, 8)), P=2)
+
+
+@given(st.integers(1, 10), st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_property_distributed_tslu_valid(P, seed):
+    rng = make_rng(seed)
+    b = int(rng.integers(1, 10))
+    m = b * int(rng.integers(1, 20))
+    A = rng.standard_normal((m, b))
+    res = distributed_tslu(A, P=P)
+    assert_lu_ok(A, res.lu, res.piv, tol=1e-9)

@@ -1,0 +1,30 @@
+"""Every example script must run to completion (they are part of the API)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+
+# The calibration example times kernels; keep it but give it headroom.
+TIMEOUTS = {"calibrate_and_predict.py": 600, "simulate_multicore.py": 600}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUTS.get(script.name, 300),
+    )
+    assert result.returncode == 0, f"{script.name} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable's minimum

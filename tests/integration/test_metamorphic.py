@@ -1,0 +1,129 @@
+"""Metamorphic properties of the factorizations.
+
+Relations that must hold between factorizations of *related* inputs —
+a complementary axis to direct backward-error checks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calu import calu
+from repro.core.caqr import caqr
+from repro.core.tsqr import tsqr
+from tests.conftest import make_rng
+
+
+class TestScalingRelations:
+    def test_lu_scaling(self):
+        """calu(c A) has U scaled by c and identical L and pivots."""
+        A = make_rng(0).standard_normal((80, 80))
+        c = 3.5
+        f1 = calu(A, b=20, tr=4)
+        f2 = calu(c * A, b=20, tr=4)
+        np.testing.assert_array_equal(f1.piv, f2.piv)
+        np.testing.assert_allclose(f2.U, c * f1.U, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(f2.L, f1.L, rtol=1e-9, atol=1e-12)
+
+    def test_qr_scaling(self):
+        """tsqr(c A) for c > 0 scales R by c, leaves |Q| unchanged."""
+        A = make_rng(1).standard_normal((150, 15))
+        c = 2.0
+        f1 = tsqr(A, tr=4)
+        f2 = tsqr(c * A, tr=4)
+        np.testing.assert_allclose(f2.R, c * f1.R, rtol=1e-11)
+
+    def test_negation_flips_u_not_pivots(self):
+        A = make_rng(2).standard_normal((60, 60))
+        f1 = calu(A, b=15, tr=4)
+        f2 = calu(-A, b=15, tr=4)
+        np.testing.assert_array_equal(f1.piv, f2.piv)  # |values| unchanged
+        np.testing.assert_allclose(f2.U, -f1.U, rtol=1e-12)
+
+
+class TestPermutationRelations:
+    def test_qr_r_invariant_under_row_permutation(self):
+        """R of QR depends on A only through A^T A, which row
+        permutations preserve — so |R| must match."""
+        rng = make_rng(3)
+        A = rng.standard_normal((200, 12))
+        perm = rng.permutation(200)
+        f1 = tsqr(A, tr=4)
+        f2 = tsqr(A[perm], tr=4)
+        np.testing.assert_allclose(np.abs(f1.R), np.abs(f2.R), rtol=1e-9, atol=1e-11)
+
+    def test_lu_column_scaling_tracks_pivots(self):
+        """Scaling one column rescales that column of U; pivots are
+        chosen per column so they are unchanged when all columns scale
+        uniformly positive."""
+        A = make_rng(4).standard_normal((70, 70))
+        d = np.full(70, 2.0)
+        f1 = calu(A, b=14, tr=2)
+        f2 = calu(A * d, b=14, tr=2)
+        np.testing.assert_array_equal(f1.piv, f2.piv)
+
+
+class TestCompositionRelations:
+    def test_qr_of_orthogonal_times_a(self):
+        """Q0 @ A has the same R (up to signs) as A for orthonormal Q0."""
+        rng = make_rng(5)
+        A = rng.standard_normal((100, 10))
+        Q0, _ = np.linalg.qr(rng.standard_normal((100, 100)))
+        f1 = tsqr(A, tr=4)
+        f2 = tsqr(Q0 @ A, tr=4)
+        np.testing.assert_allclose(np.abs(f1.R), np.abs(f2.R), rtol=1e-8, atol=1e-10)
+
+    def test_solve_then_multiply_roundtrip(self):
+        A = make_rng(6).standard_normal((90, 90))
+        f = calu(A, b=30, tr=2)
+        x = make_rng(7).standard_normal(90)
+        np.testing.assert_allclose(f.solve(A @ x), x, rtol=1e-8, atol=1e-9)
+        np.testing.assert_allclose(A @ f.solve(x), x, rtol=1e-8, atol=1e-9)
+
+    def test_block_column_consistency(self):
+        """The R of the first k columns of CAQR equals the R of a CAQR
+        on just those columns (up to signs) — panels factor left to right."""
+        A = make_rng(8).standard_normal((120, 60))
+        f_full = caqr(A, b=20, tr=2)
+        f_part = caqr(A[:, :20], b=20, tr=2)
+        np.testing.assert_allclose(
+            np.abs(f_full.R[:20, :20]), np.abs(f_part.R), rtol=1e-9, atol=1e-11
+        )
+
+
+class TestDtypes:
+    def test_float32_lu(self):
+        A = make_rng(9).standard_normal((100, 100)).astype(np.float32)
+        f = calu(A, b=25, tr=4)
+        assert f.lu.dtype == np.float32
+        err = np.linalg.norm(A - f.reconstruct()) / np.linalg.norm(A)
+        assert err < 1e-4  # single-precision tolerance
+
+    def test_float32_qr(self):
+        A = make_rng(10).standard_normal((200, 20)).astype(np.float32)
+        f = tsqr(A, tr=4)
+        assert f.R.dtype == np.float32
+        Q = f.q_explicit()
+        assert np.linalg.norm(Q.T @ Q - np.eye(20)) < 1e-4
+
+    def test_float32_caqr_solve(self):
+        A = make_rng(11).standard_normal((150, 30)).astype(np.float32)
+        x0 = make_rng(12).standard_normal(30).astype(np.float32)
+        f = caqr(A, b=10, tr=2)
+        x = f.solve_ls(A @ x0)
+        assert np.linalg.norm(x - x0) / np.linalg.norm(x0) < 1e-3
+
+    def test_integer_input_promoted_to_float64(self):
+        A = np.arange(1, 17).reshape(4, 4) + np.eye(4, dtype=int) * 20
+        f = calu(A, b=2, tr=2)
+        assert f.lu.dtype == np.float64
+
+
+@given(st.integers(0, 200), st.floats(0.1, 100.0))
+@settings(max_examples=15, deadline=None)
+def test_property_qr_scaling(seed, c):
+    A = make_rng(seed).standard_normal((60, 6))
+    f1 = tsqr(A, tr=4)
+    f2 = tsqr(c * A, tr=4)
+    np.testing.assert_allclose(f2.R, c * f1.R, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,116 @@
+"""Stress tests on pathological matrices.
+
+Partial pivoting's worst cases and rank-deficient inputs: the
+communication-avoiding algorithms must degrade exactly like (not worse
+than) their classical counterparts.
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.analysis.errors import growth_factor
+from repro.bench.workloads import near_rank_deficient
+from repro.core.calu import calu
+from repro.core.caqr import caqr
+from repro.core.tslu import tslu
+from repro.core.tsqr import tsqr
+from tests.conftest import make_rng
+
+
+def wilkinson(n: int) -> np.ndarray:
+    """The classic GEPP worst case: growth factor 2^(n-1)."""
+    A = -np.tril(np.ones((n, n)), -1) + np.eye(n)
+    A[:, -1] = 1.0
+    return A
+
+
+class TestWilkinson:
+    def test_gepp_exhibits_exponential_growth(self):
+        n = 24
+        _, _, U = scipy.linalg.lu(wilkinson(n))
+        assert growth_factor(wilkinson(n), U) == pytest.approx(2.0 ** (n - 1), rel=1e-10)
+
+    def test_calu_factors_wilkinson_correctly(self):
+        """Growth is awful (as for GEPP) but the factorization is exact."""
+        n = 24
+        A = wilkinson(n)
+        f = calu(A, b=8, tr=4)
+        err = np.linalg.norm(A - f.reconstruct()) / np.linalg.norm(A)
+        assert err < 1e-8  # exponential growth costs digits, identically to GEPP
+
+    def test_calu_growth_matches_gepp_on_wilkinson(self):
+        n = 20
+        A = wilkinson(n)
+        f = calu(A, b=n, tr=1)  # single panel, Tr=1: exactly GEPP
+        _, _, U = scipy.linalg.lu(A)
+        assert growth_factor(A, f.U) == pytest.approx(growth_factor(A, U), rel=1e-10)
+
+    def test_caqr_unaffected_by_wilkinson(self):
+        """QR has no growth problem; CAQR stays at machine precision."""
+        A = wilkinson(64)
+        f = caqr(A, b=16, tr=4)
+        err = np.linalg.norm(A - f.reconstruct()) / np.linalg.norm(A)
+        assert err < 1e-13
+
+
+class TestRankDeficiency:
+    def test_tsqr_rank_deficient_panel(self):
+        A = near_rank_deficient(200, 10, rank=4, noise=1e-13, seed=0)
+        f = tsqr(A, tr=4)
+        Q = f.q_explicit()
+        assert np.linalg.norm(A - Q @ f.R) / np.linalg.norm(A) < 1e-11
+        # Trailing diagonal of R collapses to the noise level.
+        d = np.abs(np.diag(f.R))
+        assert d[5:].max() < 1e-9 * d[0]
+
+    def test_calu_rank_deficient_matrix(self):
+        A = near_rank_deficient(80, 80, rank=40, noise=1e-10, seed=1)
+        f = calu(A, b=16, tr=4)
+        err = np.linalg.norm(A - f.reconstruct()) / np.linalg.norm(A)
+        assert err < 1e-8
+
+    def test_tslu_with_duplicate_rows(self):
+        rng = make_rng(2)
+        base = rng.standard_normal((8, 8))
+        A = np.vstack([base] * 5 + [rng.standard_normal((8, 8))])
+        lu, piv = tslu(A, tr=4)
+        from tests.conftest import assert_lu_ok
+
+        assert_lu_ok(A, lu, piv, tol=1e-10)
+
+
+class TestScaleExtremes:
+    def test_tiny_magnitudes(self):
+        A = make_rng(3).standard_normal((60, 20)) * 1e-150
+        f = caqr(A, b=10, tr=2)
+        err = np.linalg.norm(A - f.reconstruct()) / np.linalg.norm(A)
+        assert err < 1e-12
+
+    def test_huge_magnitudes(self):
+        A = make_rng(4).standard_normal((60, 20)) * 1e120
+        lu, piv = tslu(A, tr=4)
+        from tests.conftest import assert_lu_ok
+
+        assert_lu_ok(A, lu, piv, tol=1e-12)
+
+    def test_mixed_scales_rows(self):
+        rng = make_rng(5)
+        A = rng.standard_normal((80, 16))
+        A[::3] *= 1e8  # wildly varying row norms
+        f = calu(A, b=8, tr=4)
+        err = np.linalg.norm(A - f.reconstruct()) / np.linalg.norm(A)
+        assert err < 1e-12
+
+    def test_single_column(self):
+        A = make_rng(6).standard_normal((50, 1))
+        lu, piv = tslu(A, tr=4)
+        from repro.kernels.lu import piv_to_perm
+
+        perm = piv_to_perm(piv, 50)
+        # Pivot is the max-magnitude entry, as in partial pivoting.
+        assert abs(A[perm[0], 0]) == np.abs(A).max()
+
+    def test_one_by_one(self):
+        f = calu(np.array([[3.0]]), b=1, tr=1)
+        assert f.reconstruct()[0, 0] == pytest.approx(3.0)

@@ -1,0 +1,80 @@
+"""Tests for host calibration of the machine model."""
+
+import numpy as np
+import pytest
+
+from repro.machine.calibrate import (
+    KernelSample,
+    calibrate_host,
+    fit_profile,
+    measure_kernel_rates,
+)
+from repro.runtime.task import Cost
+
+
+class TestFitProfile:
+    def test_recovers_synthetic_curve(self):
+        r_inf, d_half = 8.0, 24.0
+        samples = [KernelSample(d, r_inf * d / (d + d_half)) for d in (8, 16, 32, 64, 128)]
+        prof = fit_profile(samples, peak_gflops=10.0)
+        assert prof.eff == pytest.approx(r_inf / 10.0, rel=0.05)
+        assert prof.half_dim == pytest.approx(d_half, rel=0.1)
+
+    def test_single_sample(self):
+        prof = fit_profile([KernelSample(32, 5.0)], peak_gflops=10.0)
+        assert prof.eff == pytest.approx(0.5)
+        assert prof.half_dim == 0.0
+
+    def test_no_samples(self):
+        with pytest.raises(ValueError):
+            fit_profile([], peak_gflops=1.0)
+
+    def test_eff_clamped(self):
+        samples = [KernelSample(d, 100.0) for d in (16, 32)]
+        prof = fit_profile(samples, peak_gflops=1.0)
+        assert prof.eff <= 1.0
+
+
+class TestMeasure:
+    @pytest.fixture(scope="class")
+    def rates(self):
+        # Tiny, fast measurement pass.
+        return measure_kernel_rates(dims=(8, 16), rows=256)
+
+    def test_all_kernels_measured(self, rates):
+        assert set(rates) == {"gemm", "getf2", "rgetf2", "geqr2", "geqr3"}
+        for samples in rates.values():
+            assert len(samples) == 2
+            assert all(s.gflops > 0 for s in samples)
+
+    def test_gemm_fastest_class(self, rates):
+        best_gemm = max(s.gflops for s in rates["gemm"])
+        best_blas2 = max(s.gflops for s in rates["getf2"])
+        assert best_gemm > best_blas2
+
+
+class TestCalibrateHost:
+    @pytest.fixture(scope="class")
+    def mach(self):
+        return calibrate_host(cores=2, dims=(8, 16), rows=256)
+
+    def test_model_well_formed(self, mach):
+        assert mach.cores == 2
+        assert mach.peak_core_gflops > 0
+        for kernel in ("gemm", "getf2", "rgetf2", "geqr2", "geqr3", "trsm_llnu", "larfb"):
+            assert kernel in mach.profiles
+            assert 0 < mach.profiles[kernel].eff <= 1.0
+
+    def test_model_prices_tasks(self, mach):
+        t = mach.seq_time(Cost("gemm", 256, 64, 64, flops=2 * 256 * 64 * 64))
+        assert t > 0
+
+    def test_model_runs_simulation(self, mach):
+        from repro.bench.methods import simulate_lu
+
+        r = simulate_lu("calu", 2000, 200, mach, tr=2)
+        assert r.gflops > 0
+
+    def test_blas2_membound(self, mach):
+        assert mach.profiles["getf2"].membound
+        assert not mach.profiles["gemm"].membound

@@ -1,0 +1,190 @@
+"""Tests for the analytic machine model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.model import KernelProfile, MachineModel
+from repro.machine.presets import amd16_acml, generic, intel8_mkl
+from repro.runtime.task import Cost
+
+
+@pytest.fixture
+def mach():
+    return intel8_mkl()
+
+
+class TestEfficiency:
+    def test_saturation_monotone_in_k(self, mach):
+        effs = [mach.efficiency(Cost("gemm", 1000, 1000, k)) for k in (4, 16, 64, 256)]
+        assert effs == sorted(effs)
+        assert effs[-1] <= 1.0
+
+    def test_library_factor_applies(self, mach):
+        c_mkl = Cost("gemm", 500, 500, 100, library="mkl")
+        c_acml = Cost("gemm", 500, 500, 100, library="acml")
+        assert mach.efficiency(c_mkl) > mach.efficiency(c_acml)
+
+    def test_unknown_kernel_gets_default(self, mach):
+        assert 0.0 < mach.efficiency(Cost("mystery_kernel", 100, 100, 100)) <= 1.0
+
+    def test_efficiency_capped_at_one(self):
+        m = generic(profiles={"x": KernelProfile(eff=5.0)})
+        assert m.efficiency(Cost("x", 10, 10, 10)) == 1.0
+
+    def test_saturation_dim_prefers_k(self):
+        assert MachineModel.saturation_dim(Cost("gemm", 1000, 500, 64)) == 64
+        assert MachineModel.saturation_dim(Cost("getf2", 1000, 50)) == 50
+        assert MachineModel.saturation_dim(Cost("x")) == 1.0
+
+
+class TestBytesPerFlop:
+    def test_blas3_shrinks_with_inner_dim(self, mach):
+        b1 = mach.bytes_per_flop(Cost("gemm", 1000, 1000, 10))
+        b2 = mach.bytes_per_flop(Cost("gemm", 1000, 1000, 100))
+        assert b1 > b2
+
+    def test_membound_cached_vs_streaming(self, mach):
+        small = mach.bytes_per_flop(Cost("getf2", 100, 50))
+        huge = mach.bytes_per_flop(Cost("getf2", 10_000_000, 50))
+        assert small < huge
+        prof = mach.profile("getf2")
+        assert small < 2 * prof.bpf_cached + 0.5
+        assert huge > prof.bpf_stream * 0.9
+
+    def test_membound_transition_smooth(self, mach):
+        """No cliffs: bpf grows monotonically with the footprint."""
+        vals = [mach.bytes_per_flop(Cost("getf2", m, 100)) for m in (10**3, 10**4, 10**5, 10**6, 10**7)]
+        assert vals == sorted(vals)
+
+    def test_inv_dim_makes_skinny_panels_hungrier(self, mach):
+        wide = mach.bytes_per_flop(Cost("rgetf2", 10**6, 200))
+        skinny = mach.bytes_per_flop(Cost("rgetf2", 10**6, 10))
+        assert skinny > wide
+
+
+class TestRatesAndTimes:
+    def test_compute_rate_positive(self, mach):
+        assert mach.compute_rate(Cost("gemm", 100, 100, 100, flops=1)) > 0
+
+    def test_intra_parallel_credits_vendor_panel(self, mach):
+        prof = mach.profile("getrf_panel")
+        assert prof.intra_parallel > 1.0
+        # Cached vendor panel beats the raw BLAS2 kernel.
+        c_vendor = Cost("getrf_panel", 500, 100, flops=1e6, library="mkl")
+        c_blas2 = Cost("getf2", 500, 100, flops=1e6, library="mkl")
+        assert mach.seq_time(c_vendor) < mach.seq_time(c_blas2)
+
+    def test_seq_time_includes_overhead(self, mach):
+        t = mach.seq_time(Cost("gemm", 1, 1, 1, flops=0, library="repro"))
+        assert t == pytest.approx(mach.task_overhead_us * 1e-6)
+
+    def test_overhead_factor_per_library(self, mach):
+        t_repro = mach.task_overhead_s(Cost("gemm", library="repro"))
+        t_mkl = mach.task_overhead_s(Cost("gemm", library="mkl"))
+        assert t_mkl < t_repro
+
+    def test_pure_memory_task(self, mach):
+        work, rate, demand = mach.work_and_demand(Cost("laswp", words=1000))
+        assert work == 8000.0
+        assert demand == 1.0
+        assert rate == mach.core_bw_gbs * 1e9
+
+    def test_empty_task(self, mach):
+        work, rate, demand = mach.work_and_demand(Cost("copy"))
+        assert work == 0.0
+
+    def test_bandwidth_caps_membound_rate(self, mach):
+        c = Cost("getf2", 10**6, 100, flops=1e10)
+        _, rate, bpf = mach.work_and_demand(c)
+        assert rate * bpf <= mach.bandwidth_cap(c) + 1e-6
+
+
+class TestShareRates:
+    def test_compute_bound_tasks_unconstrained(self, mach):
+        rates = mach.share_rates([(1e9, 0.0), (2e9, 0.0)])
+        assert rates == [1e9, 2e9]
+
+    def test_bandwidth_split_fairly(self, mach):
+        bw = mach.mem_bw_gbs * 1e9
+        # Two identical hungry tasks: each gets half the bandwidth.
+        r = mach.share_rates([(1e12, 8.0), (1e12, 8.0)])
+        assert r[0] == pytest.approx(bw / 2 / 8.0)
+        assert r[1] == pytest.approx(r[0])
+
+    def test_small_consumer_gets_full_rate(self, mach):
+        bw = mach.mem_bw_gbs * 1e9
+        small = bw / 100.0  # needs 1% of bandwidth
+        r = mach.share_rates([(small, 1.0), (1e13, 8.0)])
+        assert r[0] == pytest.approx(small)
+        assert r[1] == pytest.approx((bw - small) / 8.0)
+
+    def test_total_bandwidth_never_exceeded(self, mach):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = rng.integers(1, 10)
+            demands = [(float(rng.uniform(1e6, 1e12)), float(rng.uniform(0, 10))) for _ in range(n)]
+            rates = mach.share_rates(demands)
+            used = sum(r * d[1] for r, d in zip(rates, demands))
+            assert used <= mach.mem_bw_gbs * 1e9 * (1 + 1e-9)
+            for r, (mx, _) in zip(rates, demands):
+                assert r <= mx * (1 + 1e-9)
+
+    def test_empty(self, mach):
+        assert mach.share_rates([]) == []
+
+
+class TestPresets:
+    def test_intel_peak(self):
+        m = intel8_mkl()
+        assert m.cores == 8
+        assert m.peak_core_gflops * m.cores == pytest.approx(80.0)
+
+    def test_amd_peak(self):
+        m = amd16_acml()
+        assert m.cores == 16
+        assert m.peak_core_gflops == pytest.approx(8.8)
+
+    def test_overrides(self):
+        m = intel8_mkl(cores=4, task_overhead_us=99.0)
+        assert m.cores == 4 and m.task_overhead_us == 99.0
+
+    def test_generic_sizes(self):
+        assert generic(2).cores == 2
+
+    def test_mkl_gemm_ceiling_near_paper(self):
+        """MKL's measured 61.4 GFLOP/s at n=1e4 ~ the modelled gemm ceiling."""
+        m = intel8_mkl()
+        c = Cost("gemm", 10000, 128, 128, library="mkl")
+        ceiling = m.compute_rate(c) * m.cores / 1e9
+        assert 55.0 < ceiling < 70.0
+
+    def test_amd_machine_plateau_low(self):
+        """Every library plateaus near 40 GFLOP/s on the AMD box (paper)."""
+        m = amd16_acml()
+        c = Cost("gemm", 5000, 200, 200, library="plasma")
+        ceiling = m.compute_rate(c) * m.cores / 1e9
+        assert 30.0 < ceiling < 50.0
+
+
+@given(
+    st.floats(1.0, 1e12),
+    st.floats(0.0, 16.0),
+    st.integers(1, 6),
+    st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_share_rates_max_min_fair(max_rate, demand, n, seed):
+    """No task can raise its rate without lowering a slower task's."""
+    mach = generic(4)
+    rng = np.random.default_rng(seed)
+    demands = [(max_rate * float(rng.uniform(0.1, 1)), demand * float(rng.uniform(0.1, 1))) for _ in range(n)]
+    rates = mach.share_rates(demands)
+    assert len(rates) == n
+    used = sum(r * d for r, (_, d) in zip(rates, demands))
+    assert used <= mach.mem_bw_gbs * 1e9 * (1 + 1e-9)
+    for r, (mx, d) in zip(rates, demands):
+        assert 0 <= r <= mx * (1 + 1e-9)
+        if d == 0:
+            assert r == pytest.approx(mx)

@@ -1,0 +1,190 @@
+"""Tests for TaskGraph and block-level dependency discovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.graph import BlockTracker, TaskGraph, col_blocks
+from repro.runtime.task import Cost, TaskKind
+
+
+def cost(flops=1.0):
+    return Cost("gemm", 10, 10, 10, flops=flops)
+
+
+class TestTaskGraph:
+    def test_add_and_lookup(self):
+        g = TaskGraph("t")
+        a = g.add("a", TaskKind.P, cost())
+        b = g.add("b", TaskKind.S, cost(), deps=[a])
+        assert len(g) == 2
+        assert g.preds[b] == [a]
+        assert g.succs[a] == [b]
+
+    def test_duplicate_deps_collapse(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.P, cost())
+        b = g.add("b", TaskKind.S, cost(), deps=[a, a, a])
+        assert g.preds[b] == [a]
+
+    def test_out_of_range_dep_raises(self):
+        g = TaskGraph()
+        g.add("a", TaskKind.P, cost())
+        with pytest.raises(ValueError, match="out of range"):
+            g.add("b", TaskKind.S, cost(), deps=[5])
+
+    def test_self_dep_raises(self):
+        g = TaskGraph()
+        g.add("a", TaskKind.P, cost())
+        with pytest.raises(ValueError):
+            g.add("b", TaskKind.S, cost(), deps=[1])
+
+    def test_topological_order_respects_deps(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.P, cost())
+        b = g.add("b", TaskKind.S, cost(), deps=[a])
+        c = g.add("c", TaskKind.S, cost(), deps=[a])
+        d = g.add("d", TaskKind.X, cost(), deps=[b, c])
+        order = g.topological_order()
+        pos = {t: i for i, t in enumerate(order)}
+        assert pos[a] < pos[b] < pos[d]
+        assert pos[a] < pos[c] < pos[d]
+
+    def test_validate_empty(self):
+        TaskGraph().validate()
+
+    def test_totals_and_kind_counts(self):
+        g = TaskGraph()
+        g.add("a", TaskKind.P, Cost("getf2", flops=10, words=3))
+        g.add("b", TaskKind.S, Cost("gemm", flops=20, words=4))
+        g.add("c", TaskKind.S, Cost("gemm", flops=30, words=5))
+        assert g.total_flops() == 60
+        assert g.total_words() == 12
+        assert g.count_by_kind() == {"P": 1, "S": 2}
+
+    def test_critical_path(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.P, cost(1))
+        b = g.add("b", TaskKind.S, cost(10), deps=[a])
+        c = g.add("c", TaskKind.S, cost(2), deps=[a])
+        d = g.add("d", TaskKind.X, cost(1), deps=[b, c])
+        length, path = g.critical_path(lambda t: t.cost.flops)
+        assert length == 12
+        assert path == [a, b, d]
+
+    def test_critical_path_empty(self):
+        assert TaskGraph().critical_path(lambda t: 1.0) == (0.0, [])
+
+    def test_run_sequential_executes_in_dep_order(self):
+        seen = []
+        g = TaskGraph()
+        a = g.add("a", TaskKind.P, cost(), fn=lambda: seen.append("a"))
+        g.add("b", TaskKind.S, cost(), fn=lambda: seen.append("b"), deps=[a])
+        g.run_sequential()
+        assert seen == ["a", "b"]
+
+
+class TestBlockTracker:
+    def test_read_after_write(self):
+        t = BlockTracker()
+        g = TaskGraph()
+        w = t.add_task(g, "w", TaskKind.P, cost(), writes=[(0, 0)])
+        r = t.add_task(g, "r", TaskKind.S, cost(), reads=[(0, 0)])
+        assert g.preds[r] == [w]
+
+    def test_write_after_read(self):
+        t = BlockTracker()
+        g = TaskGraph()
+        w = t.add_task(g, "w", TaskKind.P, cost(), writes=[(0, 0)])
+        r1 = t.add_task(g, "r1", TaskKind.S, cost(), reads=[(0, 0)])
+        r2 = t.add_task(g, "r2", TaskKind.S, cost(), reads=[(0, 0)])
+        w2 = t.add_task(g, "w2", TaskKind.S, cost(), writes=[(0, 0)])
+        assert set(g.preds[w2]) == {w, r1, r2}
+
+    def test_write_after_write(self):
+        t = BlockTracker()
+        g = TaskGraph()
+        w1 = t.add_task(g, "w1", TaskKind.P, cost(), writes=[(0, 0)])
+        w2 = t.add_task(g, "w2", TaskKind.S, cost(), writes=[(0, 0)])
+        assert g.preds[w2] == [w1]
+
+    def test_reader_list_reset_after_write(self):
+        t = BlockTracker()
+        g = TaskGraph()
+        t.add_task(g, "w", TaskKind.P, cost(), writes=[(0, 0)])
+        t.add_task(g, "r", TaskKind.S, cost(), reads=[(0, 0)])
+        w2 = t.add_task(g, "w2", TaskKind.S, cost(), writes=[(0, 0)])
+        r2 = t.add_task(g, "r2", TaskKind.S, cost(), reads=[(0, 0)])
+        # r2 depends only on the latest writer, not historical readers.
+        assert g.preds[r2] == [w2]
+
+    def test_independent_blocks_no_deps(self):
+        t = BlockTracker()
+        g = TaskGraph()
+        t.add_task(g, "w1", TaskKind.P, cost(), writes=[(0, 0)])
+        w2 = t.add_task(g, "w2", TaskKind.P, cost(), writes=[(1, 1)])
+        assert g.preds[w2] == []
+
+    def test_extra_deps_are_merged(self):
+        t = BlockTracker()
+        g = TaskGraph()
+        a = t.add_task(g, "a", TaskKind.P, cost(), writes=[(0, 0)])
+        b = t.add_task(g, "b", TaskKind.P, cost(), writes=[(1, 1)])
+        c = t.add_task(g, "c", TaskKind.S, cost(), reads=[(0, 0)], extra_deps=[b])
+        assert set(g.preds[c]) == {a, b}
+
+    def test_symbolic_workspace_keys(self):
+        t = BlockTracker()
+        g = TaskGraph()
+        p = t.add_task(g, "p", TaskKind.P, cost(), writes=[("V", 0, 1)])
+        s = t.add_task(g, "s", TaskKind.S, cost(), reads=[("V", 0, 1)])
+        assert g.preds[s] == [p]
+
+    def test_read_and_write_same_block(self):
+        t = BlockTracker()
+        g = TaskGraph()
+        a = t.add_task(g, "a", TaskKind.S, cost(), reads=[(0, 0)], writes=[(0, 0)])
+        b = t.add_task(g, "b", TaskKind.S, cost(), reads=[(0, 0)], writes=[(0, 0)])
+        assert g.preds[b] == [a]
+
+
+def test_col_blocks_helper():
+    assert col_blocks(range(2, 5), 7) == [(2, 7), (3, 7), (4, 7)]
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_property_tracker_serializes_conflicting_writes(data):
+    """For any access sequence, two writers of one block are ordered."""
+    n_tasks = data.draw(st.integers(2, 20))
+    t = BlockTracker()
+    g = TaskGraph()
+    accesses = []
+    for i in range(n_tasks):
+        reads = data.draw(st.lists(st.integers(0, 3), max_size=2))
+        writes = data.draw(st.lists(st.integers(0, 3), max_size=2))
+        accesses.append((set(reads), set(writes)))
+        t.add_task(
+            g,
+            f"t{i}",
+            TaskKind.S,
+            cost(),
+            reads=[(b, 0) for b in reads],
+            writes=[(b, 0) for b in writes],
+        )
+    g.validate()
+    # Transitive closure via topological longest-path over reachability.
+    order = g.topological_order()
+    reach = [set() for _ in range(n_tasks)]
+    for u in reversed(order):
+        for v in g.succs[u]:
+            reach[u].add(v)
+            reach[u] |= reach[v]
+    for i in range(n_tasks):
+        for j in range(i + 1, n_tasks):
+            ri, wi = accesses[i]
+            rj, wj = accesses[j]
+            conflict = (wi & wj) or (wi & rj) or (ri & wj)
+            if conflict:
+                assert j in reach[i], f"conflicting tasks {i},{j} not ordered"

@@ -1,0 +1,115 @@
+"""Tests for execution traces, statistics and Gantt rendering."""
+
+import pytest
+
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import Cost, TaskKind
+from repro.runtime.trace import TaskRecord, Trace
+
+
+def rec(tid, kind, core, start, end, name=None):
+    return TaskRecord(tid=tid, name=name or f"t{tid}", kind=kind, core=core, start=start, end=end)
+
+
+def two_core_trace():
+    return Trace(
+        [
+            rec(0, TaskKind.P, 0, 0.0, 1.0),
+            rec(1, TaskKind.S, 1, 0.0, 0.5),
+            rec(2, TaskKind.S, 0, 1.0, 2.0),
+            rec(3, TaskKind.L, 1, 1.5, 2.0),
+        ],
+        n_cores=2,
+    )
+
+
+def test_makespan():
+    assert two_core_trace().makespan == 2.0
+
+
+def test_makespan_empty():
+    assert Trace([], 2).makespan == 0.0
+
+
+def test_busy_time_total_and_per_core():
+    t = two_core_trace()
+    assert t.busy_time() == pytest.approx(3.0)
+    assert t.busy_time(core=0) == pytest.approx(2.0)
+    assert t.busy_time(core=1) == pytest.approx(1.0)
+
+
+def test_idle_fraction():
+    t = two_core_trace()
+    assert t.idle_fraction() == pytest.approx(1.0 - 3.0 / 4.0)
+
+
+def test_busy_by_kind():
+    t = two_core_trace()
+    by = t.busy_by_kind()
+    assert by["P"] == pytest.approx(1.0)
+    assert by["S"] == pytest.approx(1.5)
+    assert by["L"] == pytest.approx(0.5)
+
+
+def test_gflops():
+    t = two_core_trace()
+    assert t.gflops(2e9) == pytest.approx(1.0)
+    assert Trace([], 1).gflops(1e9) == 0.0
+
+
+def test_gantt_renders_rows_and_legend():
+    out = two_core_trace().gantt(width=40)
+    lines = out.splitlines()
+    assert lines[0].startswith("core  0")
+    assert lines[1].startswith("core  1")
+    assert "#" in lines[0]  # panel glyph
+    assert "legend" in lines[-1]
+
+
+def test_gantt_empty():
+    assert Trace([], 2).gantt() == "(empty trace)"
+
+
+def test_summary_mentions_idle():
+    s = two_core_trace().summary()
+    assert "idle" in s and "makespan" in s
+
+
+def test_validate_schedule_detects_core_overlap():
+    g = TaskGraph()
+    g.add("a", TaskKind.P, Cost("gemm"))
+    g.add("b", TaskKind.P, Cost("gemm"))
+    bad = Trace(
+        [rec(0, TaskKind.P, 0, 0.0, 1.0, "a"), rec(1, TaskKind.P, 0, 0.5, 1.5, "b")],
+        n_cores=1,
+    )
+    with pytest.raises(AssertionError, match="overlap"):
+        bad.validate_schedule(g)
+
+
+def test_validate_schedule_detects_dependency_violation():
+    g = TaskGraph()
+    a = g.add("a", TaskKind.P, Cost("gemm"))
+    g.add("b", TaskKind.S, Cost("gemm"), deps=[a])
+    bad = Trace(
+        [rec(0, TaskKind.P, 0, 0.5, 1.0, "a"), rec(1, TaskKind.S, 1, 0.0, 0.4, "b")],
+        n_cores=2,
+    )
+    with pytest.raises(AssertionError, match="started before"):
+        bad.validate_schedule(g)
+
+
+def test_validate_schedule_accepts_valid():
+    g = TaskGraph()
+    a = g.add("a", TaskKind.P, Cost("gemm"))
+    g.add("b", TaskKind.S, Cost("gemm"), deps=[a])
+    ok = Trace(
+        [rec(0, TaskKind.P, 0, 0.0, 1.0, "a"), rec(1, TaskKind.S, 1, 1.0, 2.0, "b")],
+        n_cores=2,
+    )
+    ok.validate_schedule(g)
+
+
+def test_duration_property():
+    r = rec(0, TaskKind.S, 0, 1.5, 4.0)
+    assert r.duration == pytest.approx(2.5)

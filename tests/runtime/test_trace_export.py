@@ -1,0 +1,88 @@
+"""Tests for trace export (JSON / SVG) and table CSV export."""
+
+import json
+
+import numpy as np
+
+from repro.bench.tables import Table
+from repro.core.calu import build_calu_graph
+from repro.core.layout import BlockLayout
+from repro.machine.presets import generic
+from repro.runtime.simulated import SimulatedExecutor
+from repro.runtime.trace import Trace
+
+
+def small_trace():
+    graph, _ = build_calu_graph(BlockLayout(400, 200, 100), 2)
+    return SimulatedExecutor(generic(4)).run(graph), graph
+
+
+class TestJson:
+    def test_roundtrip_fields(self):
+        trace, graph = small_trace()
+        doc = json.loads(trace.to_json())
+        assert doc["n_cores"] == 4
+        assert doc["makespan"] > 0
+        assert len(doc["records"]) == len(graph.tasks)
+        rec = doc["records"][0]
+        assert set(rec) == {"tid", "name", "kind", "core", "start", "end"}
+
+    def test_kinds_are_strings(self):
+        trace, _ = small_trace()
+        doc = json.loads(trace.to_json())
+        assert all(r["kind"] in "PLUSX" for r in doc["records"])
+
+    def test_empty_trace(self):
+        doc = json.loads(Trace([], 2).to_json())
+        assert doc["records"] == []
+
+
+class TestSvg:
+    def test_valid_document(self):
+        trace, graph = small_trace()
+        svg = trace.to_svg()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        # One rect per nonzero-duration task plus core lanes and legend.
+        n_nonzero = sum(1 for r in trace.records if r.duration > 0)
+        assert svg.count("<title>") == n_nonzero
+
+    def test_core_lanes_labeled(self):
+        trace, _ = small_trace()
+        svg = trace.to_svg()
+        for core in range(4):
+            assert f"core {core}" in svg
+
+    def test_panel_color_present(self):
+        trace, _ = small_trace()
+        assert "#c0392b" in trace.to_svg()  # the paper's red panel bars
+
+    def test_empty_trace_renders(self):
+        svg = Trace([], 2).to_svg()
+        assert svg.startswith("<svg") and svg.rstrip().endswith("</svg>")
+
+
+class TestTableCsv:
+    def test_csv_format(self):
+        t = Table(
+            title="x",
+            row_header="n",
+            row_labels=["10", "20"],
+            col_labels=["a", "b"],
+            values=np.array([[1.5, 2.0], [3.25, 4.0]]),
+        )
+        csv = t.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "n,a,b"
+        assert lines[1] == "10,1.5,2"
+        assert lines[2] == "20,3.25,4"
+
+
+class TestCliSave(object):
+    def test_save_writes_files(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        rc = main(["stability", "--save", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "stability.txt").exists()
+        assert (tmp_path / "stability.csv").exists()
