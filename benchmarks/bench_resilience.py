@@ -1,0 +1,108 @@
+"""Fault-free overhead of the resilience layer.
+
+The guards, the retry plumbing, and the watchdog must be effectively
+free when nothing goes wrong — the acceptance target is <5% on a
+fault-free CALU. Two views:
+
+* pytest-benchmark timings of calu/caqr with guards on vs. off;
+* a formatted overhead table (``results/resilience_overhead.txt``)
+  from a best-of-N wall-clock comparison, including the resilient
+  executor (retry policy + watchdog armed, no faults injected).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.calu import calu
+from repro.core.caqr import caqr
+from repro.resilience.recovery import RetryPolicy
+from repro.runtime.threaded import ThreadedExecutor
+
+
+@pytest.fixture(scope="module")
+def square():
+    return np.random.default_rng(0).standard_normal((384, 384))
+
+
+def test_calu_guards_on(benchmark, square):
+    f = benchmark(lambda: calu(square, b=64, tr=4))
+    assert np.isfinite(f.lu).all()
+
+
+def test_calu_guards_off(benchmark, square):
+    f = benchmark(lambda: calu(square, b=64, tr=4, guards=False))
+    assert np.isfinite(f.lu).all()
+
+
+def test_caqr_guards_on(benchmark, square):
+    f = benchmark(lambda: caqr(square, b=64, tr=4))
+    assert np.isfinite(f.packed).all()
+
+
+def test_caqr_guards_off(benchmark, square):
+    f = benchmark(lambda: caqr(square, b=64, tr=4, guards=False))
+    assert np.isfinite(f.packed).all()
+
+
+def test_calu_resilient_executor_no_faults(benchmark, square):
+    def run():
+        ex = ThreadedExecutor(
+            4, retry=RetryPolicy(max_retries=2), task_timeout=60.0, stall_timeout=60.0
+        )
+        return calu(square, b=64, tr=4, executor=ex)
+
+    f = benchmark(run)
+    assert np.isfinite(f.lu).all()
+
+
+def _best_of(fn, n=5):
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_overhead_table(save_result):
+    A = np.random.default_rng(2).standard_normal((512, 512))
+    rows = []
+
+    base = _best_of(lambda: calu(A.copy(), b=64, tr=4, guards=False))
+    for label, fn in [
+        ("calu guards=True", lambda: calu(A.copy(), b=64, tr=4)),
+        (
+            "calu resilient executor",
+            lambda: calu(
+                A.copy(),
+                b=64,
+                tr=4,
+                executor=ThreadedExecutor(
+                    4,
+                    retry=RetryPolicy(max_retries=2),
+                    task_timeout=60.0,
+                    stall_timeout=60.0,
+                ),
+            ),
+        ),
+    ]:
+        t = _best_of(fn)
+        rows.append((label, t, 100.0 * (t - base) / base))
+
+    qbase = _best_of(lambda: caqr(A.copy(), b=64, tr=4, guards=False))
+    tq = _best_of(lambda: caqr(A.copy(), b=64, tr=4))
+    rows.append(("caqr guards=True", tq, 100.0 * (tq - qbase) / qbase))
+
+    lines = [
+        "Fault-free resilience overhead (512x512, b=64, tr=4, best of 5)",
+        f"{'configuration':<28}{'seconds':>10}{'overhead':>10}",
+        f"{'calu guards=False (base)':<28}{base:>10.4f}{'--':>10}",
+    ]
+    for label, t, pct in rows:
+        lines.append(f"{label:<28}{t:>10.4f}{pct:>+9.1f}%")
+    text = "\n".join(lines)
+    save_result("resilience_overhead", text)
+    # The acceptance target: guards are <5% on a fault-free run.
+    assert rows[0][2] < 5.0

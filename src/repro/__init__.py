@@ -28,6 +28,11 @@ The package provides:
     Analytic multicore performance models, including presets for the
     paper's two test machines (8-core Intel Xeon, 16-core AMD Opteron).
 
+``repro.resilience``
+    Fault injection (:class:`~repro.resilience.faults.FaultPlan`),
+    task retry policies, structured runtime failures and numerical
+    health guards — the runtime's recovery layer.
+
 ``repro.baselines``
     The comparison algorithms the paper benchmarks against: BLAS2
     ``getf2``/``geqr2``, blocked ``getrf``/``geqrf`` (MKL/ACML-like)
@@ -71,6 +76,13 @@ _EXPORTS = {
     "ThreadedExecutor": "repro.runtime.threaded",
     "WorkStealingExecutor": "repro.runtime.stealing",
     "calibrate_host": "repro.machine.calibrate",
+    "FaultPlan": "repro.resilience.faults",
+    "InjectedFault": "repro.resilience.faults",
+    "RetryPolicy": "repro.resilience.recovery",
+    "RuntimeFailure": "repro.resilience.recovery",
+    "ResilienceEvent": "repro.resilience.events",
+    "NumericalHealthWarning": "repro.resilience.health",
+    "SolveReport": "repro.linalg",
     "solve": "repro.linalg",
     "lstsq": "repro.linalg",
     "iterative_refinement": "repro.linalg",

@@ -33,9 +33,12 @@ from repro.core.trees import TreeKind
 from repro.core.tslu import PanelWorkspace, add_tslu_tasks
 from repro.kernels.blas import gemm, laswp, trsm_llnu, trsm_runn
 from repro.kernels.lu import piv_to_perm
+from repro.resilience.health import finite_block_guard, validate_matrix
+from repro.resilience.recovery import RuntimeFailure
 from repro.runtime.graph import BlockTracker, TaskGraph
 from repro.runtime.task import Cost, TaskKind
 from repro.runtime.threaded import ThreadedExecutor
+from repro.runtime.trace import Trace
 
 __all__ = ["CALUFactorization", "build_calu_graph", "calu", "merged_chunks"]
 
@@ -100,6 +103,7 @@ def build_calu_graph(
     arity: int = 4,
     update_width: int | None = None,
     update_library: str | None = None,
+    guards: bool = True,
 ) -> tuple[TaskGraph, list[PanelWorkspace]]:
     """Build the CALU task graph for *layout*.
 
@@ -107,6 +111,12 @@ def build_calu_graph(
     carry numeric closures; with ``A=None`` the graph is symbolic and
     only carries costs (used to simulate paper-scale problems).
     Returns ``(graph, per-panel workspaces)``.
+
+    With *guards* (the default, numeric runs only) the TSLU tasks carry
+    corruption detectors that trigger the partial-pivoting fallback,
+    the finalize tasks monitor pivot growth, and every trailing-update
+    (S) task carries a finiteness guard over the block it wrote — so a
+    corrupted run can never return silently wrong factors.
 
     ``update_width`` implements the paper's Section V extension: a
     trailing-update block size ``B > b`` — trailing column segments are
@@ -124,6 +134,8 @@ def build_calu_graph(
     upd_lib = update_library or library
     if update_width is not None and update_width < b:
         raise ValueError(f"update_width B={update_width} must be >= b={b}")
+    guards = guards and numeric
+    absmax = float(np.abs(A).max()) if guards and A.size else None
     workspaces: list[PanelWorkspace] = []
 
     for K in range(layout.n_panels):
@@ -147,6 +159,8 @@ def build_calu_graph(
             library=library,
             leaf_kernel=leaf_kernel,
             arity=arity,
+            guards=guards,
+            absmax=absmax,
         )
 
         # Task L: blocks of the current column of L (dtrsm).
@@ -237,9 +251,15 @@ def build_calu_graph(
                     library=upd_lib,
                 )
                 blocks = [(i, Jc) for Jc in jcols for i in range(r0 // b, chunk.b1)]
+                s_name = f"S[{K}]{chunk.index},{J}"
+                s_meta = (
+                    {"health": finite_block_guard(A, r0, chunk.r1, j0, j1, s_name)}
+                    if guards
+                    else {}
+                )
                 tracker.add_task(
                     graph,
-                    f"S[{K}]{chunk.index},{J}",
+                    s_name,
                     TaskKind.S,
                     cost_s,
                     fn=_s_fn(A, k0, bk, c0, c1, r0, chunk.r1, j0, j1) if numeric else None,
@@ -249,6 +269,7 @@ def build_calu_graph(
                     extra_deps=[u_tid],
                     priority=task_priority("S", K, J, lookahead=lookahead, n_cols=N),
                     iteration=K,
+                    **s_meta,
                 )
 
     # Deferred left swaps (Algorithm 1 line 41).  Depends on all sinks,
@@ -277,6 +298,10 @@ class CALUFactorization:
     ``lu`` packs ``L`` (strictly below the diagonal, unit diagonal
     implicit) and ``U`` (on and above); ``piv`` is the global
     LAPACK-style swap sequence of length ``min(m, n)``.
+
+    ``trace`` is the executor's schedule (with its resilience event
+    log); ``degraded_panels`` lists the panel indices whose tournament
+    fell back to partial pivoting after a detected corruption.
     """
 
     lu: np.ndarray
@@ -284,6 +309,8 @@ class CALUFactorization:
     b: int
     tr: int
     tree: TreeKind
+    trace: Trace | None = None
+    degraded_panels: tuple[int, ...] = ()
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -350,6 +377,7 @@ def calu(
     overwrite: bool = False,
     update_width: int | None = None,
     check_finite: bool = True,
+    guards: bool = True,
 ) -> CALUFactorization:
     """Factor ``A`` with multithreaded CALU (Algorithm 1).
 
@@ -368,13 +396,19 @@ def calu(
     overwrite : allow factoring ``A`` in place.
     update_width : optional trailing-update block size ``B >= b``
         (paper Section V extension): coarser, fewer update tasks.
+    guards : attach numerical health guards to the task graph (see
+        :func:`build_calu_graph`); disabled, a corrupted run may
+        raise from deep inside a kernel instead of degrading
+        gracefully.
 
     Returns a :class:`CALUFactorization`.
     """
-    dtype = A.dtype if getattr(A, "dtype", None) in (np.float32, np.float64) else np.float64
+    A = validate_matrix(A, "A", require_finite=check_finite)
+    dtype = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
     A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
-    if check_finite and not np.isfinite(A).all():
-        raise ValueError("matrix contains NaN or Inf (pass check_finite=False to skip)")
+    # check_finite=False means the caller opted into non-finite input
+    # ("garbage in"); the finiteness guards would only fight that.
+    guards = guards and check_finite
     m, n = A.shape
     if b is None:
         b = min(100, n)
@@ -387,10 +421,23 @@ def calu(
         lookahead=lookahead,
         leaf_kernel=leaf_kernel,
         update_width=update_width,
+        guards=guards,
     )
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
-    executor.run(graph)
+    plan = getattr(executor, "fault_plan", None)
+    if plan is not None and plan.target is None:
+        plan.target = A
+    trace = executor.run(graph)
+    if guards and not np.isfinite(A).all():
+        # Last line of defense: a corruption that landed outside every
+        # guarded block (e.g. in an already-finished region) must still
+        # surface as a structured failure, never as wrong factors.
+        raise RuntimeFailure(
+            "CALU produced non-finite factors (undetected corruption)",
+            failure_kind="health",
+            trace=trace,
+        )
     r = min(m, n)
     piv = np.arange(r, dtype=np.int64)
     for K, ws in enumerate(workspaces):
@@ -398,4 +445,7 @@ def calu(
         bk = layout.panel_width(K)
         assert ws.piv is not None
         piv[k0 : k0 + bk] = ws.piv[:bk] + k0
-    return CALUFactorization(lu=A, piv=piv, b=b, tr=tr, tree=tree)
+    degraded = tuple(K for K, ws in enumerate(workspaces) if ws.degraded)
+    return CALUFactorization(
+        lu=A, piv=piv, b=b, tr=tr, tree=tree, trace=trace, degraded_panels=degraded
+    )

@@ -30,9 +30,12 @@ from repro.core.trees import TreeKind
 from repro.core.tsqr import MergeStep, PanelQRStore, add_tsqr_tasks
 from repro.kernels.qr import larfb_left_t
 from repro.kernels.structured import tpmqrt_left_t
+from repro.resilience.health import finite_block_guard, validate_matrix
+from repro.resilience.recovery import RuntimeFailure
 from repro.runtime.graph import BlockTracker, TaskGraph
 from repro.runtime.task import Cost, TaskKind
 from repro.runtime.threaded import ThreadedExecutor
+from repro.runtime.trace import Trace
 
 __all__ = ["CAQRFactorization", "build_caqr_graph", "caqr"]
 
@@ -70,14 +73,20 @@ def build_caqr_graph(
     library: str = "repro_qr",
     leaf_kernel: str = "geqr3",
     arity: int = 4,
+    guards: bool = True,
 ) -> tuple[TaskGraph, list[PanelQRStore]]:
     """Build the CAQR task graph; symbolic when ``A`` is None.
 
-    Returns ``(graph, per-panel implicit-Q stores)``.
+    Returns ``(graph, per-panel implicit-Q stores)``.  With *guards*
+    (numeric runs only) the panel tasks and trailing updates carry
+    finiteness health guards: QR has no partial-pivoting fallback, so a
+    corrupted panel surfaces as a fatal structured failure rather than
+    silently wrong factors.
     """
     graph = TaskGraph(f"caqr{layout.m}x{layout.n}b{layout.b}tr{tr}")
     tracker = BlockTracker()
     numeric = A is not None
+    guards = guards and numeric
     N = layout.N
     stores: list[PanelQRStore] = []
 
@@ -102,6 +111,20 @@ def build_caqr_graph(
             leaf_kernel=leaf_kernel,
             arity=arity,
         )
+        if guards:
+            # QR panel guards attach post-hoc on the TSQR handles: the
+            # leaf/merge factors must stay finite for the implicit Q to
+            # be usable at all.
+            p0 = K * layout.b
+            for slot, tid in handles.leaf_tids.items():
+                chunk = handles.leaf_chunks[slot]
+                graph.tasks[tid].meta["health"] = finite_block_guard(
+                    A, chunk.r0, chunk.r1, p0, p0 + bk, graph.tasks[tid].name
+                )
+            for step in handles.merge_steps:
+                graph.tasks[step.tid].meta["health"] = finite_block_guard(
+                    A, step.dst.r0, step.dst.r0 + bk, p0, p0 + bk, graph.tasks[step.tid].name
+                )
 
         # Trailing column segments: full block columns J > K plus, for a
         # panel narrower than its block column (last panel of a wide
@@ -125,9 +148,15 @@ def build_caqr_graph(
                     words=2.0 * chunk.rows * nc + chunk.rows * bk,
                     library=library,
                 )
+                s_name = f"S[{K}]leaf{slot},{J}"
+                s_meta = (
+                    {"health": finite_block_guard(A, chunk.r0, chunk.r1, j0, j1, s_name)}
+                    if guards
+                    else {}
+                )
                 tracker.add_task(
                     graph,
-                    f"S[{K}]leaf{slot},{J}",
+                    s_name,
                     TaskKind.S,
                     cost,
                     fn=_leaf_update_fn(A, store, slot, j0, j1) if numeric else None,
@@ -136,6 +165,7 @@ def build_caqr_graph(
                     extra_deps=[handles.leaf_tids[slot]],
                     priority=task_priority("S", K, J, lookahead=lookahead, n_cols=N),
                     iteration=K,
+                    **s_meta,
                 )
             # Tree-node updates: tpmqrt on the two R slices per merge.
             for step in handles.merge_steps:
@@ -150,9 +180,19 @@ def build_caqr_graph(
                     library=library,
                 )
                 blocks = [(step.dst.b0, J)] + [(s.b0, J) for s in step.srcs]
+                s_name = f"S[{K}]node{step.dst.index}l{step.level},{J}"
+                s_meta = (
+                    {
+                        "health": finite_block_guard(
+                            A, step.dst.r0, step.dst.r0 + bk, j0, j1, s_name
+                        )
+                    }
+                    if guards
+                    else {}
+                )
                 tracker.add_task(
                     graph,
-                    f"S[{K}]node{step.dst.index}l{step.level},{J}",
+                    s_name,
                     TaskKind.S,
                     cost,
                     fn=_merge_update_fn(A, store, step.pair_indices, j0, j1)
@@ -163,6 +203,7 @@ def build_caqr_graph(
                     extra_deps=[step.tid],
                     priority=task_priority("S", K, J, lookahead=lookahead, n_cols=N),
                     iteration=K,
+                    **s_meta,
                 )
     return graph, stores
 
@@ -180,6 +221,7 @@ class CAQRFactorization:
     b: int
     tr: int
     tree: TreeKind
+    trace: Trace | None = None
 
     @property
     def m(self) -> int:
@@ -247,24 +289,34 @@ def caqr(
     leaf_kernel: str = "geqr3",
     overwrite: bool = False,
     check_finite: bool = True,
+    guards: bool = True,
 ) -> CAQRFactorization:
     """Factor ``A`` with multithreaded CAQR (Algorithm 2).
 
     Parameters mirror :func:`repro.core.calu.calu`; the default tree is
     the height-1 (flat) reduction the paper uses for its CAQR results.
     """
-    dtype = A.dtype if getattr(A, "dtype", None) in (np.float32, np.float64) else np.float64
+    A = validate_matrix(A, "A", require_finite=check_finite)
+    dtype = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
     A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
-    if check_finite and not np.isfinite(A).all():
-        raise ValueError("matrix contains NaN or Inf (pass check_finite=False to skip)")
+    guards = guards and check_finite
     m, n = A.shape
     if b is None:
         b = min(100, n)
     layout = BlockLayout(m, n, b)
     graph, stores = build_caqr_graph(
-        layout, tr, tree, A=A, lookahead=lookahead, leaf_kernel=leaf_kernel
+        layout, tr, tree, A=A, lookahead=lookahead, leaf_kernel=leaf_kernel, guards=guards
     )
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
-    executor.run(graph)
-    return CAQRFactorization(packed=A, panels=stores, b=b, tr=tr, tree=tree)
+    plan = getattr(executor, "fault_plan", None)
+    if plan is not None and plan.target is None:
+        plan.target = A
+    trace = executor.run(graph)
+    if guards and not np.isfinite(A).all():
+        raise RuntimeFailure(
+            "CAQR produced non-finite factors (undetected corruption)",
+            failure_kind="health",
+            trace=trace,
+        )
+    return CAQRFactorization(packed=A, panels=stores, b=b, tr=tr, tree=tree, trace=trace)

@@ -12,6 +12,14 @@ caller — CALU — or by :func:`tslu` for a standalone panel).
 This module provides both the task-graph builder used by CALU and a
 standalone :func:`tslu` driver for factoring a single tall-skinny
 panel, the operation the paper benchmarks against ``MKL_dgetf2``.
+
+Resilience: leaf tasks are *idempotent* (they read the matrix and
+overwrite only their own candidate slot), so the runtime may retry
+them.  Health guards watch the tournament's candidate buffers; if a
+fault corrupts them, the panel *degrades gracefully* — the finalize
+task abandons the tournament and selects its pivots by classic GEPP
+partial pivoting on the panel, which costs one extra panel sweep but
+keeps the factorization correct (recorded as a ``degraded`` event).
 """
 
 from __future__ import annotations
@@ -26,6 +34,8 @@ from repro.core.priorities import task_priority
 from repro.core.trees import TreeKind, reduction_schedule
 from repro.kernels.blas import laswp
 from repro.kernels.lu import getf2, getf2_nopiv, perm_from_piv_rows, piv_to_perm, rgetf2
+from repro.resilience.events import ResilienceEvent
+from repro.resilience.health import DEFAULT_GROWTH_LIMIT, validate_matrix
 from repro.runtime.graph import BlockTracker, TaskGraph
 from repro.runtime.task import Cost, TaskKind
 from repro.runtime.threaded import ThreadedExecutor
@@ -40,12 +50,15 @@ class PanelWorkspace:
     ``cand_rows[slot]`` / ``cand_gidx[slot]`` hold the candidate pivot
     rows (values, copied out of the matrix) and their row indices local
     to the panel; ``piv`` is the final LAPACK-style swap sequence set
-    by the finalize task.
+    by the finalize task.  ``degraded`` is set when the tournament's
+    candidates were found corrupted and the finalize task fell back to
+    partial pivoting for this panel.
     """
 
     cand_rows: dict[int, np.ndarray] = field(default_factory=dict)
     cand_gidx: dict[int, np.ndarray] = field(default_factory=dict)
     piv: np.ndarray | None = None
+    degraded: bool = False
 
 
 def _select_pivots(block: np.ndarray, leaf_kernel: str) -> np.ndarray:
@@ -79,6 +92,14 @@ def _merge_fn(ws: PanelWorkspace, dst: int, srcs: list[int], bk: int, leaf_kerne
     def fn() -> None:
         rows = np.vstack([ws.cand_rows[s] for s in srcs])
         gidx = np.concatenate([ws.cand_gidx[s] for s in srcs])
+        if not np.isfinite(rows).all():
+            # Corrupted candidates: mark the panel degraded and stop
+            # propagating poison up the tree.  The finalize task will
+            # fall back to partial pivoting on the panel itself.
+            ws.degraded = True
+            ws.cand_rows[dst] = rows[: min(len(rows), bk)]
+            ws.cand_gidx[dst] = gidx[: min(len(gidx), bk)]
+            return
         sel = _select_pivots(rows, leaf_kernel)
         ws.cand_rows[dst] = rows[sel].copy()
         ws.cand_gidx[dst] = gidx[sel]
@@ -86,10 +107,101 @@ def _merge_fn(ws: PanelWorkspace, dst: int, srcs: list[int], bk: int, leaf_kerne
     return fn
 
 
+def _candidate_guard(ws: PanelWorkspace, slot: int, K: int, name: str):
+    """Health guard for a tournament task: non-finite candidates degrade the panel."""
+
+    def guard() -> ResilienceEvent | None:
+        cand = ws.cand_rows.get(slot)
+        if cand is not None and not np.isfinite(cand).all():
+            ws.degraded = True
+            return ResilienceEvent(
+                kind="health",
+                task=name,
+                detail=f"panel {K}: non-finite tournament candidates in slot {slot}",
+            )
+        return None
+
+    return guard
+
+
+def _corrupt_candidates(ws: PanelWorkspace, slot: int):
+    """Corruption hook for fault injection: poison this slot's candidate rows."""
+
+    def corrupt() -> bool:
+        cand = ws.cand_rows.get(slot)
+        if cand is None or cand.size == 0:
+            return False
+        cand.flat[cand.size // 2] = np.nan
+        return True
+
+    return corrupt
+
+
+def _panel_guard(
+    A: np.ndarray,
+    k0: int,
+    r: int,
+    c0: int,
+    c1: int,
+    ws: PanelWorkspace,
+    K: int,
+    absmax: float | None,
+    name: str,
+    growth_limit: float = DEFAULT_GROWTH_LIMIT,
+):
+    """Health guard after finalize: fatal on non-finite factors, warn on growth."""
+
+    def guard() -> ResilienceEvent | None:
+        block = A[k0 : k0 + r, c0:c1]
+        if not np.isfinite(block).all():
+            return ResilienceEvent(
+                kind="health",
+                task=name,
+                detail=f"panel {K}: non-finite values in factored pivot block",
+                fatal=True,
+            )
+        if ws.degraded:
+            return ResilienceEvent(
+                kind="degraded",
+                task=name,
+                detail=f"panel {K}: tournament corrupted, fell back to partial pivoting",
+            )
+        if absmax is not None and absmax > 0:
+            growth = float(np.abs(block).max()) / absmax
+            if growth > growth_limit:
+                return ResilienceEvent(
+                    kind="health",
+                    task=name,
+                    detail=f"panel {K}: pivot growth {growth:.3g} exceeds {growth_limit:.3g}",
+                    value=growth,
+                )
+        return None
+
+    return guard
+
+
 def _finalize_fn(A: np.ndarray, k0: int, m: int, c0: int, c1: int, ws: PanelWorkspace, root: int):
     def fn() -> None:
-        gidx = ws.cand_gidx[root]
-        piv = perm_from_piv_rows(gidx, m - k0)
+        gidx = ws.cand_gidx.get(root)
+        cand = ws.cand_rows.get(root)
+        degraded = (
+            ws.degraded
+            or gidx is None
+            or cand is None
+            or not np.isfinite(cand).all()
+        )
+        if degraded:
+            # Graceful degradation: the tournament's candidates are
+            # unusable, so select pivots by classic GEPP partial
+            # pivoting on a *copy* of the panel (selection only — the
+            # actual panel is then swapped and factored exactly as in
+            # the tournament path, leaving the sub-pivot rows for the
+            # L tasks).
+            ws.degraded = True
+            work = A[k0:m, c0:c1].copy()
+            piv = getf2(work)
+        else:
+            piv = perm_from_piv_rows(gidx, m - k0)
         ws.piv = piv
         laswp(A[k0:m, c0:c1], piv)
         r = min(c1 - c0, m - k0)
@@ -112,12 +224,22 @@ def add_tslu_tasks(
     library: str = "repro",
     leaf_kernel: str = "rgetf2",
     arity: int = 4,
+    guards: bool = True,
+    absmax: float | None = None,
 ) -> int:
     """Emit the TSLU tasks for panel *K*; returns the finalize task id.
 
     With ``A=None`` the tasks are symbolic (cost-only).  *chunks* is
     the row partition for this iteration (from
     :meth:`BlockLayout.panel_chunks`, possibly tail-merged).
+
+    With *guards* (numeric runs only) the tournament tasks carry
+    ``meta["health"]`` closures that detect corrupted candidate buffers
+    and trigger the partial-pivoting fallback, plus ``meta["corrupt"]``
+    hooks so a :class:`~repro.resilience.faults.FaultPlan` can target
+    the workspace instead of the matrix.  *absmax* (the panel's
+    pre-factorization magnitude) enables the pivot-growth monitor on
+    the finalize task.
     """
     c0, c1 = layout.col_range(K)
     c1 = min(c1, K * layout.b + layout.panel_width(K))
@@ -138,15 +260,22 @@ def add_tslu_tasks(
             library=library,
         )
         fn = _leaf_fn(A, chunk, c0, c1, k0, ws, leaf_kernel) if numeric else None
+        name = f"P[{K}]leaf{chunk.index}"
+        meta = {}
+        if numeric and guards:
+            meta["health"] = _candidate_guard(ws, chunk.index, K, name)
+            meta["corrupt"] = _corrupt_candidates(ws, chunk.index)
         producer[chunk.index] = tracker.add_task(
             graph,
-            f"P[{K}]leaf{chunk.index}",
+            name,
             TaskKind.P,
             cost,
             fn=fn,
             reads=chunk.blocks(K),
             priority=prio_p,
             iteration=K,
+            idempotent=numeric,
+            **meta,
         )
 
     slots = [c.index for c in chunks]
@@ -166,14 +295,20 @@ def add_tslu_tasks(
                 library=library,
             )
             fn = _merge_fn(ws, dst, srcs, bk, leaf_kernel) if numeric else None
+            name = f"P[{K}]merge{dst}<{','.join(map(str, srcs))}"
+            meta = {}
+            if numeric and guards:
+                meta["health"] = _candidate_guard(ws, dst, K, name)
+                meta["corrupt"] = _corrupt_candidates(ws, dst)
             producer[dst] = graph.add(
-                f"P[{K}]merge{dst}<{','.join(map(str, srcs))}",
+                name,
                 TaskKind.P,
                 cost,
                 fn=fn,
                 deps=[producer[s] for s in srcs],
                 priority=prio_p,
                 iteration=K,
+                **meta,
             )
             cand_rows[dst] = min(stacked, bk)
 
@@ -187,9 +322,13 @@ def add_tslu_tasks(
         library=library,
     )
     fn = _finalize_fn(A, k0, m, c0, c1, ws, root) if numeric else None
+    name = f"F[{K}]"
+    meta = {}
+    if numeric and guards:
+        meta["health"] = _panel_guard(A, k0, r, c0, c1, ws, K, absmax, name)
     finalize = tracker.add_task(
         graph,
-        f"F[{K}]",
+        name,
         TaskKind.P,
         fin_cost,
         fn=fn,
@@ -197,6 +336,7 @@ def add_tslu_tasks(
         extra_deps=[producer[root]],
         priority=task_priority("F", K, lookahead=lookahead, n_cols=layout.N),
         iteration=K,
+        **meta,
     )
     return finalize
 
@@ -221,10 +361,9 @@ def tslu(
     ``MKL_dgetf2``: GEPP-quality pivots with ``O(log2 Tr)``
     synchronizations instead of one per column.
     """
-    dtype = A.dtype if getattr(A, "dtype", None) in (np.float32, np.float64) else np.float64
+    A = validate_matrix(A, "A", require_finite=check_finite)
+    dtype = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
     A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
-    if check_finite and not np.isfinite(A).all():
-        raise ValueError("matrix contains NaN or Inf (pass check_finite=False to skip)")
     m, n = A.shape
     if m < n:
         raise ValueError(f"tslu requires a tall panel (m >= n), got {A.shape}")

@@ -26,6 +26,7 @@ from repro.core.priorities import task_priority
 from repro.core.trees import TreeKind, reduction_schedule
 from repro.kernels.qr import extract_v, geqr2, geqr3, larfb_left_t, larft
 from repro.kernels.structured import tpqrt, tpmqrt_left_t
+from repro.resilience.health import validate_matrix
 from repro.runtime.graph import BlockTracker, TaskGraph
 from repro.runtime.task import Cost, TaskKind
 from repro.runtime.threaded import ThreadedExecutor
@@ -307,10 +308,9 @@ def tsqr(
     ``MKL_dgeqrf`` on ``10^5 x 200``.  Default tree is the height-1
     (flat) tree the paper found best on shared memory.
     """
-    dtype = A.dtype if getattr(A, "dtype", None) in (np.float32, np.float64) else np.float64
+    A = validate_matrix(A, "A", require_finite=check_finite)
+    dtype = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
     A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
-    if check_finite and not np.isfinite(A).all():
-        raise ValueError("matrix contains NaN or Inf (pass check_finite=False to skip)")
     m, n = A.shape
     if m < n:
         raise ValueError(f"tsqr requires a tall panel (m >= n), got {A.shape}")

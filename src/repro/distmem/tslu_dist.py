@@ -60,14 +60,21 @@ def distributed_tslu(
     P: int = 4,
     tree: TreeKind = TreeKind.BINARY,
     leaf_kernel: str = "rgetf2",
+    comm: CommLog | None = None,
 ) -> DistPanelLU:
-    """Tournament-pivoting LU of a distributed ``m x b`` panel."""
+    """Tournament-pivoting LU of a distributed ``m x b`` panel.
+
+    *comm* supplies the channel — pass
+    ``CommLog(fault_plan=FaultPlan(...))`` to run the tournament over a
+    lossy network; the pivots are unchanged (reliable transport), only
+    the counted traffic grows by the retransmissions.
+    """
     A = np.asarray(A, dtype=float)
     m, b = A.shape
     if m < b:
         raise ValueError(f"panel must be tall, got {A.shape}")
     dist = RowBlocks(m, P)
-    log = CommLog()
+    log = comm if comm is not None else CommLog()
     local = dist.scatter(A)
     ranks = dist.active_ranks
 

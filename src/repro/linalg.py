@@ -4,17 +4,28 @@ Convenience routines a downstream user expects from an LU/QR library:
 one-call solves, least squares, iterative refinement, 1-norm condition
 estimation (Hager-Higham, as in LAPACK ``gecon``) and determinants —
 all driven by the CALU/CAQR factorizations.
+
+Resilience: :func:`solve` validates its inputs up front, monitors the
+achieved residual, and auto-escalates to iterative refinement when the
+first solve falls short of working accuracy — warning (and reporting
+the achieved residual via :class:`SolveReport`) if refinement still
+cannot reach it.
 """
 
 from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.calu import CALUFactorization, calu
 from repro.core.caqr import CAQRFactorization, caqr
 from repro.core.trees import TreeKind
+from repro.resilience.health import NumericalHealthWarning, validate_matrix, validate_rhs
 
 __all__ = [
+    "SolveReport",
     "solve",
     "lstsq",
     "iterative_refinement",
@@ -22,6 +33,31 @@ __all__ = [
     "slogdet",
     "det",
 ]
+
+
+@dataclass
+class SolveReport:
+    """What :func:`solve` achieved: residual, refinement steps, warnings.
+
+    ``residual`` is the scaled backward-error residual
+    ``||rhs - A x|| / (||A|| ||x|| + ||rhs||)``; ``converged`` says it
+    met the requested tolerance; ``degraded_panels`` forwards the
+    factorization's partial-pivoting fallbacks.
+    """
+
+    residual: float = float("nan")
+    tol: float = float("nan")
+    refine_steps: int = 0
+    converged: bool = True
+    degraded_panels: tuple[int, ...] = ()
+    history: list[float] = field(default_factory=list)
+
+
+def _scaled_residual(A: np.ndarray, x: np.ndarray, rhs: np.ndarray) -> float:
+    """Backward-error style residual ``||r|| / (||A|| ||x|| + ||rhs||)``."""
+    r = float(np.linalg.norm(rhs - A @ x))
+    denom = float(np.linalg.norm(A, ord=np.inf) * np.linalg.norm(x) + np.linalg.norm(rhs))
+    return r / denom if denom > 0 else r
 
 
 def solve(
@@ -32,6 +68,9 @@ def solve(
     tree: TreeKind | None = None,
     refine: int = 0,
     cores: int = 4,
+    auto_refine: bool = True,
+    rtol: float | None = None,
+    report: bool = False,
 ) -> np.ndarray:
     """Solve the square system ``A x = rhs`` with CALU.
 
@@ -39,17 +78,55 @@ def solve(
     (:func:`repro.core.autotune.recommend_params`).  ``refine`` extra
     steps of iterative refinement sharpen the result to working
     accuracy (see :func:`iterative_refinement`).
+
+    With ``auto_refine`` (the default) the scaled residual
+    ``||rhs - A x|| / (||A|| ||x|| + ||rhs||)`` is checked against
+    *rtol* (default ``sqrt(n) * 100 * eps``); a short-falling solve
+    escalates to iterative refinement automatically, and a
+    :class:`~repro.resilience.health.NumericalHealthWarning` reports
+    the achieved residual if refinement still cannot reach it.  With
+    ``report=True`` returns ``(x, SolveReport)``.
     """
     from repro.core.autotune import recommend_params
 
-    A = np.asarray(A, dtype=float)
+    A = np.asarray(validate_matrix(A, "A"), dtype=float)
+    if A.shape[0] != A.shape[1]:
+        raise ValueError(f"solve requires a square matrix, got shape {A.shape}")
+    rhs = np.asarray(validate_rhs(rhs, A.shape[0], "rhs"), dtype=float)
     rec = recommend_params(A.shape[0], A.shape[1], cores=cores, kind="lu")
     f = calu(A, b=b if b is not None else rec.b, tr=tr if tr is not None else rec.tr,
              tree=tree if tree is not None else rec.tree)
     x = f.solve(rhs)
+    rep = SolveReport(degraded_panels=f.degraded_panels)
     if refine > 0:
-        x, _ = iterative_refinement(A, f, rhs, max_iters=refine, x0=x)
-    return x
+        x, hist = iterative_refinement(A, f, rhs, max_iters=refine, x0=x)
+        rep.refine_steps = len(hist) - 1
+        rep.history = hist
+    if auto_refine or report:
+        n = A.shape[0]
+        tol = rtol if rtol is not None else float(np.sqrt(n) * 100 * np.finfo(A.dtype).eps)
+        rep.tol = tol
+        rep.residual = _scaled_residual(A, x, rhs)
+        if auto_refine and rep.residual > tol:
+            scale = float(
+                np.linalg.norm(A, ord=np.inf) * np.linalg.norm(x) + np.linalg.norm(rhs)
+            )
+            x, hist = iterative_refinement(
+                A, f, rhs, max_iters=5, tol=tol * scale, x0=x
+            )
+            rep.refine_steps += len(hist) - 1
+            rep.history.extend(hist)
+            rep.residual = _scaled_residual(A, x, rhs)
+        rep.converged = bool(rep.residual <= tol)
+        if not rep.converged and auto_refine:
+            warnings.warn(
+                f"solve: residual {rep.residual:.3g} did not reach tolerance "
+                f"{tol:.3g} after {rep.refine_steps} refinement steps "
+                "(ill-conditioned system?)",
+                NumericalHealthWarning,
+                stacklevel=2,
+            )
+    return (x, rep) if report else x
 
 
 def lstsq(
@@ -66,7 +143,10 @@ def lstsq(
     """
     from repro.core.autotune import recommend_params
 
-    A = np.asarray(A, dtype=float)
+    A = np.asarray(validate_matrix(A, "A"), dtype=float)
+    if A.shape[0] < A.shape[1]:
+        raise ValueError(f"lstsq requires m >= n, got shape {A.shape}")
+    rhs = np.asarray(validate_rhs(rhs, A.shape[0], "rhs"), dtype=float)
     rec = recommend_params(A.shape[0], A.shape[1], cores=cores, kind="qr")
     f = caqr(A, b=b if b is not None else rec.b, tr=tr if tr is not None else rec.tr,
              tree=tree if tree is not None else rec.tree)

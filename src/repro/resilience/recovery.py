@@ -1,0 +1,119 @@
+"""Task-level recovery: retry policies and structured runtime failures.
+
+The paper's runtime keeps the panel off the critical path by *always*
+having work ready; this module keeps the runtime itself off the failure
+path.  A :class:`RetryPolicy` re-runs failed tasks when that is safe
+(idempotent tasks, or injected faults that fired before any work was
+done) with exponential backoff.  When recovery is impossible the
+executors raise a :class:`RuntimeFailure` — a structured exception that
+names the offending task and carries the partial
+:class:`~repro.runtime.trace.Trace` (with every resilience event), so a
+caller can diagnose *what completed* instead of staring at a bare
+kernel traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resilience.faults import InjectedFault
+
+__all__ = ["RetryPolicy", "RuntimeFailure"]
+
+#: Failure classes a :class:`RuntimeFailure` distinguishes.
+FAILURE_KINDS = (
+    "task_error",  # a task raised and retries were exhausted / not allowed
+    "injected",  # an injected fault exhausted retries
+    "timeout",  # watchdog: one task exceeded the per-task timeout
+    "stall",  # watchdog: no progress for longer than stall_timeout
+    "deadlock",  # watchdog: tasks remain but nothing is ready or running
+    "worker_death",  # watchdog: a worker thread died with work in flight
+    "health",  # a numerical health guard found corrupted results
+    "comm",  # message-level failure (retransmission cap exceeded)
+)
+
+
+class RuntimeFailure(RuntimeError):
+    """A structured runtime failure.
+
+    Attributes
+    ----------
+    task, tid:
+        The offending task's name and id (``""`` / ``-1`` for
+        runtime-level failures such as deadlocks).
+    failure_kind:
+        One of :data:`FAILURE_KINDS`.
+    trace:
+        The partial :class:`~repro.runtime.trace.Trace` of everything
+        that completed before the failure, including resilience events
+        (retries, injected faults, degradations).  May be None when the
+        failure happened outside an executor run.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task: str = "",
+        tid: int = -1,
+        failure_kind: str = "task_error",
+        trace=None,
+    ) -> None:
+        super().__init__(message)
+        self.task = task
+        self.tid = tid
+        self.failure_kind = failure_kind
+        self.trace = trace
+
+    def summary(self) -> str:
+        """One-line diagnosis including partial-progress statistics."""
+        parts = [f"{self.failure_kind}: {self.args[0]}"]
+        if self.task:
+            parts.append(f"task={self.task!r} (tid {self.tid})")
+        if self.trace is not None:
+            parts.append(f"{len(self.trace.records)} tasks completed")
+            counts = self.trace.resilience_summary()
+            if counts:
+                parts.append(", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff for recoverable tasks.
+
+    A failed attempt is retried only when it cannot have corrupted
+    shared state: the task is declared ``idempotent`` (e.g. TSLU leaf
+    tasks, which read the matrix and overwrite their own candidate
+    slot), or the failure is an :class:`InjectedFault` that fired
+    before the closure ran.  ``retry_all=True`` lifts the safety check
+    for graphs known to be side-effect free (tests, symbolic runs).
+
+    Parameters
+    ----------
+    max_retries:
+        Attempts allowed *after* the first (0 disables retrying).
+    backoff_s, backoff_multiplier:
+        Sleep ``backoff_s * multiplier**attempt`` before re-running.
+    retry_all:
+        Retry any task regardless of idempotence.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.002
+    backoff_multiplier: float = 2.0
+    retry_all: bool = False
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt + 1``."""
+        return self.backoff_s * self.backoff_multiplier ** attempt
+
+    def should_retry(self, task, exc: BaseException, attempt: int) -> bool:
+        """Whether to re-run *task* after *exc* on attempt *attempt*."""
+        if attempt >= self.max_retries:
+            return False
+        if self.retry_all:
+            return True
+        if isinstance(exc, InjectedFault) and exc.pre_execution:
+            return True
+        return bool(getattr(task, "idempotent", False))

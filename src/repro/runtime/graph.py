@@ -40,6 +40,7 @@ class TaskGraph:
         deps: Iterable[int] = (),
         priority: float = 0.0,
         iteration: int = 0,
+        idempotent: bool = False,
         **meta,
     ) -> int:
         """Append a task depending on task ids *deps*; returns its id."""
@@ -52,6 +53,7 @@ class TaskGraph:
             fn=fn,
             priority=priority,
             iteration=iteration,
+            idempotent=idempotent,
             meta=meta,
         )
         self.tasks.append(task)
@@ -252,6 +254,7 @@ class BlockTracker:
         extra_deps: Iterable[int] = (),
         priority: float = 0.0,
         iteration: int = 0,
+        idempotent: bool = False,
         **meta,
     ) -> int:
         """Add a task to *graph* with dependencies derived from accesses."""
@@ -265,6 +268,7 @@ class BlockTracker:
             deps=deps,
             priority=priority,
             iteration=iteration,
+            idempotent=idempotent,
             **meta,
         )
         self.commit(tid, reads, writes)

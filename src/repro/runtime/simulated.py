@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.counters import add_sync, add_words
+from repro.resilience.events import ResilienceEvent
+from repro.resilience.recovery import RuntimeFailure
 from repro.runtime.graph import TaskGraph
 
 if TYPE_CHECKING:  # avoid a runtime circular import with repro.machine
@@ -47,6 +49,8 @@ class _Running:
     max_rate: float  # work units / second cap
     demand: float  # bytes per work unit
     rate: float = 0.0
+    failure: BaseException | None = None  # injected fault fired at completion
+    corrupt: bool = False  # injected corruption applied at completion
 
 
 class SimulatedExecutor:
@@ -63,6 +67,21 @@ class SimulatedExecutor:
         simulated-time order, which respects dependencies) — used by
         tests to prove the simulated schedule computes the same result
         as the threaded one.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; injected
+        stalls extend a task's setup phase in virtual time, injected
+        exceptions abort the run at the task's completion event with a
+        structured :class:`~repro.resilience.recovery.RuntimeFailure`
+        carrying the partial trace, and (in ``execute`` mode)
+        corruption faults poison the task's output.
+    retry:
+        Optional :class:`~repro.resilience.recovery.RetryPolicy`;
+        recoverable injected faults then cost backoff time in the
+        virtual schedule (recorded as ``retry`` events) instead of
+        failing the run — mirroring the threaded executor.
+    health_checks:
+        Run ``meta["health"]`` guards after executed tasks (only
+        meaningful with ``execute=True``).
     """
 
     def __init__(
@@ -70,10 +89,17 @@ class SimulatedExecutor:
         machine: MachineModel,
         policy: str = "priority",
         execute: bool = False,
+        *,
+        fault_plan=None,
+        retry=None,
+        health_checks: bool = True,
     ) -> None:
         self.machine = machine
         self.policy = policy
         self.execute = execute
+        self.fault_plan = fault_plan
+        self.retry = retry
+        self.health_checks = health_checks
 
     def run(self, graph: TaskGraph) -> Trace:
         mach = self.machine
@@ -88,9 +114,14 @@ class SimulatedExecutor:
         running: list[_Running] = []
         ran_on: dict[int, int] = {}
         records: list[TaskRecord] = []
+        events: list[ResilienceEvent] = []
         clock = 0.0
         completed = 0
         sync_lat = mach.sync_latency_us * 1e-6
+        plan = self.fault_plan
+
+        def record_event(ev: ResilienceEvent) -> None:
+            events.append(ev)
 
         def start_tasks() -> None:
             while ready and free_cores:
@@ -103,6 +134,13 @@ class SimulatedExecutor:
                 if remote:
                     add_sync(remote)
                     add_words(int(task.cost.words))
+                failure = None
+                corrupt = False
+                if plan is not None:
+                    delay, failure, corrupt = plan.virtual_faults(
+                        task, retry=self.retry, record=record_event
+                    )
+                    setup += delay
                 work, rate, demand = mach.work_and_demand(task.cost)
                 running.append(
                     _Running(
@@ -113,17 +151,49 @@ class SimulatedExecutor:
                         work_left=work,
                         max_rate=rate,
                         demand=demand,
+                        failure=failure,
+                        corrupt=corrupt,
                     )
                 )
 
         def complete(r: _Running) -> None:
             nonlocal completed
+            if r.failure is not None:
+                failure = RuntimeFailure(
+                    f"task {r.task.name!r} failed: {r.failure}",
+                    task=r.task.name,
+                    tid=r.task.tid,
+                    failure_kind="injected",
+                    trace=Trace(list(records), mach.cores, list(events)),
+                )
+                failure.__cause__ = r.failure
+                raise failure
             ran_on[r.task.tid] = r.core
             records.append(
                 TaskRecord(r.task.tid, r.task.name, r.task.kind, r.core, r.start, clock)
             )
             if self.execute and r.task.fn is not None:
                 r.task.fn()
+            if r.corrupt and plan is not None and self.execute:
+                plan.apply_corruption(r.task, record=record_event)
+            guard = (
+                r.task.meta.get("health")
+                if (self.execute and self.health_checks and r.task.meta)
+                else None
+            )
+            if guard is not None:
+                verdict = guard()
+                if verdict is not None:
+                    record_event(verdict)
+                    if verdict.fatal:
+                        raise RuntimeFailure(
+                            f"health guard failed after task {r.task.name!r}: "
+                            f"{verdict.detail}",
+                            task=r.task.name,
+                            tid=r.task.tid,
+                            failure_kind="health",
+                            trace=Trace(list(records), mach.cores, list(events)),
+                        )
             for s in graph.succs[r.task.tid]:
                 indeg[s] -= 1
                 if indeg[s] == 0:
@@ -175,4 +245,4 @@ class SimulatedExecutor:
                         still.append(r)
             running = still
 
-        return Trace(records, mach.cores)
+        return Trace(records, mach.cores, events)

@@ -84,6 +84,18 @@ class Task:
     tasks (dependencies always dominate).  Builders encode the paper's
     look-ahead rule by boosting the panel tasks and the updates of
     block column ``K+1``.
+
+    ``idempotent`` declares that re-running ``fn`` after a partial or
+    failed attempt is safe (the task reads shared state and overwrites
+    only its own output, e.g. a TSLU leaf copying candidate rows into
+    its workspace slot).  The retry machinery in
+    :mod:`repro.resilience.recovery` only re-runs idempotent tasks —
+    or failures injected before the closure ran.
+
+    ``meta`` carries optional resilience hooks: ``meta["health"]`` (a
+    zero-argument guard returning ``None`` or a
+    :class:`~repro.resilience.events.ResilienceEvent`) and
+    ``meta["corrupt"]`` (a zero-argument fault-injection target).
     """
 
     tid: int
@@ -93,6 +105,7 @@ class Task:
     fn: Callable[[], None] | None = None
     priority: float = 0.0
     iteration: int = 0
+    idempotent: bool = False
     meta: dict = field(default_factory=dict)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -10,6 +10,24 @@ overlap on real multicore hardware; on a 1-core CI box this executor
 still fully validates the dependency and locking logic (races would
 corrupt the factorization, which the test suite cross-checks against
 the sequential execution and the simulated executor).
+
+Resilience layer (see :mod:`repro.resilience`):
+
+* ``retry=RetryPolicy(...)`` re-runs failed tasks with backoff when
+  safe (idempotent tasks, pre-execution injected faults);
+* ``task_timeout=`` / ``stall_timeout=`` arm a watchdog thread that
+  detects stalled tasks, dead workers and deadlocked queues and raises
+  a structured :class:`~repro.resilience.recovery.RuntimeFailure`
+  carrying the partial :class:`~repro.runtime.trace.Trace`;
+* ``fault_plan=FaultPlan(...)`` injects deterministic faults for
+  testing and benchmarking;
+* tasks carrying a ``meta["health"]`` guard are checked after they run
+  (NaN/Inf and pivot-growth monitors attached by the CALU/CAQR
+  builders); a fatal guard verdict aborts the run instead of letting a
+  corrupted factorization escape.
+
+With none of these configured the executor behaves exactly as before:
+the first task exception is re-raised verbatim.
 """
 
 from __future__ import annotations
@@ -18,6 +36,9 @@ import threading
 import time
 
 from repro.counters import add_sync, add_words
+from repro.resilience.events import ResilienceEvent
+from repro.resilience.faults import FaultPlan, InjectedFault
+from repro.resilience.recovery import RetryPolicy, RuntimeFailure
 from repro.runtime.graph import TaskGraph
 from repro.runtime.scheduler import ReadyQueue
 from repro.runtime.trace import TaskRecord, Trace
@@ -35,19 +56,63 @@ class ThreadedExecutor:
     policy:
         Ready-queue policy, ``"priority"`` (default, the paper's
         look-ahead scheduling via task priorities) or ``"fifo"``.
+    retry:
+        Optional :class:`~repro.resilience.recovery.RetryPolicy` for
+        task-level recovery.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` injecting
+        deterministic faults (tests and resilience benchmarks).
+    task_timeout:
+        Wall-clock seconds one task may run before the watchdog
+        declares it stalled (None disables).
+    stall_timeout:
+        Wall-clock seconds without *any* task completing before the
+        watchdog declares the run stalled (None disables).
+    health_checks:
+        Run ``meta["health"]`` guards attached to tasks (default True).
     """
 
-    def __init__(self, n_workers: int = 4, policy: str = "priority") -> None:
+    def __init__(
+        self,
+        n_workers: int = 4,
+        policy: str = "priority",
+        *,
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        task_timeout: float | None = None,
+        stall_timeout: float | None = None,
+        health_checks: bool = True,
+        watchdog_poll_s: float = 0.02,
+    ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
         self.policy = policy
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.task_timeout = task_timeout
+        self.stall_timeout = stall_timeout
+        self.health_checks = health_checks
+        self.watchdog_poll_s = watchdog_poll_s
+
+    @property
+    def _resilient(self) -> bool:
+        """Whether the resilience layer is active (failures get wrapped)."""
+        return (
+            self.retry is not None
+            or self.fault_plan is not None
+            or self.task_timeout is not None
+            or self.stall_timeout is not None
+        )
 
     def run(self, graph: TaskGraph) -> Trace:
         """Run every task; returns the execution :class:`Trace`.
 
-        Raises the first exception any task raised, after all workers
-        have stopped.
+        Without resilience options, raises the first exception any task
+        raised, after all workers have stopped.  With them, failures
+        are wrapped in a :class:`RuntimeFailure` carrying the partial
+        trace; the watchdog additionally converts hangs into structured
+        timeout/stall/deadlock failures instead of blocking forever.
         """
         n = len(graph.tasks)
         indeg = graph.indegrees()
@@ -57,12 +122,26 @@ class ThreadedExecutor:
         remaining = n
         errors: list[BaseException] = []
         records: list[TaskRecord] = []
+        events: list[ResilienceEvent] = []
         ran_on: dict[int, int] = {}
+        running: dict[int, tuple] = {}  # core -> (task, monotonic start)
+        progress = [time.monotonic()]  # last completion, for stall detection
+        stop = threading.Event()  # watchdog fired: abandon stuck workers
+        retry = self.retry
+        plan = self.fault_plan
         t0 = time.perf_counter()
 
         for t, d in enumerate(indeg):
             if d == 0:
                 ready.push(graph.tasks[t])
+
+        def record_event(ev: ResilienceEvent) -> None:
+            with lock:
+                events.append(ev)
+
+        def partial_trace() -> Trace:
+            with lock:
+                return Trace(list(records), self.n_workers, list(events))
 
         def worker(core: int) -> None:
             nonlocal remaining
@@ -74,26 +153,89 @@ class ThreadedExecutor:
                         work_available.notify_all()
                         return
                     task = ready.pop()
+                    # Snapshot predecessor placement under the lock:
+                    # ran_on is written by completing workers, so an
+                    # unlocked read would race (and miscount syncs).
+                    placement = [ran_on.get(p, core) for p in graph.preds[task.tid]]
+                    running[core] = (task, time.monotonic())
                 # Account inter-worker synchronization: one sync (and the
                 # task's input volume) per predecessor that ran elsewhere.
-                remote = sum(1 for p in graph.preds[task.tid] if ran_on.get(p, core) != core)
+                remote = sum(1 for p in placement if p != core)
                 if remote:
                     add_sync(remote)
                     add_words(int(task.cost.words))
-                start = time.perf_counter() - t0
-                try:
-                    if task.fn is not None:
-                        task.fn()
-                except BaseException as exc:  # noqa: BLE001 - propagate to caller
-                    with work_available:
-                        errors.append(exc)
-                        remaining -= 1
-                        work_available.notify_all()
-                    return
+                attempt = 0
+                while True:
+                    start = time.perf_counter() - t0
+                    try:
+                        if plan is not None:
+                            plan.pre_task(task, attempt, record=record_event)
+                        if task.fn is not None:
+                            task.fn()
+                        if plan is not None:
+                            plan.post_task(task, attempt, record=record_event)
+                    except BaseException as exc:  # noqa: BLE001 - handled below
+                        if retry is not None and not errors and retry.should_retry(task, exc, attempt):
+                            record_event(
+                                ResilienceEvent(
+                                    "retry",
+                                    task.name,
+                                    task.tid,
+                                    detail=(
+                                        f"attempt {attempt + 1} after "
+                                        f"{type(exc).__name__}: {exc}"
+                                    ),
+                                )
+                            )
+                            time.sleep(retry.delay(attempt))
+                            attempt += 1
+                            continue
+                        if self._resilient and not isinstance(exc, RuntimeFailure):
+                            kind = "injected" if isinstance(exc, InjectedFault) else "task_error"
+                            failure = RuntimeFailure(
+                                f"task {task.name!r} failed after {attempt + 1} attempt(s): {exc}",
+                                task=task.name,
+                                tid=task.tid,
+                                failure_kind=kind,
+                            )
+                            failure.__cause__ = exc
+                            exc = failure
+                        with work_available:
+                            running.pop(core, None)
+                            errors.append(exc)
+                            remaining -= 1
+                            work_available.notify_all()
+                        return
+                    break
                 end = time.perf_counter() - t0
+                # Numerical health guard, outside the lock (it reads
+                # only blocks this task owns).
+                fatal_event = None
+                guard = task.meta.get("health") if (self.health_checks and task.meta) else None
+                if guard is not None:
+                    verdict = guard()
+                    if verdict is not None:
+                        record_event(verdict)
+                        if verdict.fatal:
+                            fatal_event = verdict
                 with work_available:
+                    running.pop(core, None)
+                    progress[0] = time.monotonic()
                     ran_on[task.tid] = core
                     records.append(TaskRecord(task.tid, task.name, task.kind, core, start, end))
+                    if fatal_event is not None:
+                        errors.append(
+                            RuntimeFailure(
+                                f"health guard failed after task {task.name!r}: "
+                                f"{fatal_event.detail}",
+                                task=task.name,
+                                tid=task.tid,
+                                failure_kind="health",
+                            )
+                        )
+                        remaining -= 1
+                        work_available.notify_all()
+                        return
                     for s in graph.succs[task.tid]:
                         indeg[s] -= 1
                         if indeg[s] == 0:
@@ -105,10 +247,143 @@ class ThreadedExecutor:
             threading.Thread(target=worker, args=(c,), name=f"repro-worker-{c}", daemon=True)
             for c in range(self.n_workers)
         ]
+
+        watchdog_active = self.task_timeout is not None or self.stall_timeout is not None
+
+        def watchdog() -> None:
+            deadlock_polls = 0
+            while not stop.wait(self.watchdog_poll_s):
+                with work_available:
+                    if remaining <= 0 or errors:
+                        return
+                    now = time.monotonic()
+                    if self.task_timeout is not None:
+                        for core, (task, ts) in list(running.items()):
+                            if now - ts > self.task_timeout:
+                                events.append(
+                                    ResilienceEvent(
+                                        "timeout",
+                                        task.name,
+                                        task.tid,
+                                        detail=(
+                                            f"exceeded task_timeout={self.task_timeout:.3g}s "
+                                            f"on worker {core}"
+                                        ),
+                                        value=now - ts,
+                                        fatal=True,
+                                    )
+                                )
+                                errors.append(
+                                    RuntimeFailure(
+                                        f"task {task.name!r} stalled: ran longer than "
+                                        f"{self.task_timeout:.3g}s on worker {core}",
+                                        task=task.name,
+                                        tid=task.tid,
+                                        failure_kind="timeout",
+                                    )
+                                )
+                                stop.set()
+                                work_available.notify_all()
+                                return
+                    if self.stall_timeout is not None and now - progress[0] > self.stall_timeout:
+                        stalled = ", ".join(t.name for t, _ in running.values()) or "none"
+                        events.append(
+                            ResilienceEvent(
+                                "stall",
+                                detail=(
+                                    f"no task completed for {self.stall_timeout:.3g}s "
+                                    f"(running: {stalled})"
+                                ),
+                                fatal=True,
+                            )
+                        )
+                        errors.append(
+                            RuntimeFailure(
+                                f"runtime stalled: no task completed for "
+                                f"{self.stall_timeout:.3g}s ({n - remaining}/{n} done, "
+                                f"running: {stalled})",
+                                failure_kind="stall",
+                            )
+                        )
+                        stop.set()
+                        work_available.notify_all()
+                        return
+                    dead = [
+                        c
+                        for c, th in enumerate(threads)
+                        if c in running and not th.is_alive()
+                    ]
+                    if dead:
+                        task = running[dead[0]][0]
+                        events.append(
+                            ResilienceEvent(
+                                "worker_death",
+                                task.name,
+                                task.tid,
+                                detail=f"worker {dead[0]} died with task in flight",
+                                fatal=True,
+                            )
+                        )
+                        errors.append(
+                            RuntimeFailure(
+                                f"worker {dead[0]} died while running task {task.name!r}",
+                                task=task.name,
+                                tid=task.tid,
+                                failure_kind="worker_death",
+                            )
+                        )
+                        stop.set()
+                        work_available.notify_all()
+                        return
+                    # Deadlocked queue: tasks remain, nothing runs,
+                    # nothing is ready.  Cannot happen for a valid DAG;
+                    # confirmed over two polls to dodge races.
+                    if remaining > 0 and not running and not ready:
+                        deadlock_polls += 1
+                        if deadlock_polls >= 2:
+                            events.append(
+                                ResilienceEvent(
+                                    "deadlock",
+                                    detail=(
+                                        f"{n - remaining}/{n} tasks done, "
+                                        "none ready or running"
+                                    ),
+                                    fatal=True,
+                                )
+                            )
+                            errors.append(
+                                RuntimeFailure(
+                                    f"runtime deadlock: {n - remaining}/{n} tasks "
+                                    "completed, none ready or running",
+                                    failure_kind="deadlock",
+                                )
+                            )
+                            stop.set()
+                            work_available.notify_all()
+                            return
+                    else:
+                        deadlock_polls = 0
+
         for th in threads:
             th.start()
+        watchdog_thread = None
+        if watchdog_active:
+            watchdog_thread = threading.Thread(target=watchdog, name="repro-watchdog", daemon=True)
+            watchdog_thread.start()
         for th in threads:
-            th.join()
+            if not watchdog_active:
+                th.join()
+            else:
+                # A stuck worker cannot be killed; once the watchdog
+                # fires we stop waiting and abandon the daemon thread.
+                while th.is_alive() and not stop.is_set():
+                    th.join(0.05)
+        if watchdog_thread is not None:
+            stop.set()
+            watchdog_thread.join(1.0)
         if errors:
-            raise errors[0]
-        return Trace(records, self.n_workers)
+            exc = errors[0]
+            if isinstance(exc, RuntimeFailure) and exc.trace is None:
+                exc.trace = partial_trace()
+            raise exc
+        return Trace(records, self.n_workers, events)

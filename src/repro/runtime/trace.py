@@ -38,11 +38,18 @@ class TaskRecord:
 
 
 class Trace:
-    """An executed schedule: records plus aggregate statistics."""
+    """An executed schedule: records plus aggregate statistics.
 
-    def __init__(self, records: Iterable[TaskRecord], n_cores: int) -> None:
+    ``events`` is the structured resilience log — every retry, injected
+    fault, degradation, health violation or watchdog finding the run
+    produced, as :class:`~repro.resilience.events.ResilienceEvent`
+    entries.  Fault-free runs have an empty log.
+    """
+
+    def __init__(self, records: Iterable[TaskRecord], n_cores: int, events: Iterable = ()) -> None:
         self.records = sorted(records, key=lambda r: (r.start, r.core))
         self.n_cores = n_cores
+        self.events = list(events)
 
     @property
     def makespan(self) -> float:
@@ -63,6 +70,21 @@ class Trace:
         if span == 0.0:
             return 0.0
         return 1.0 - self.busy_time() / (span * self.n_cores)
+
+    def resilience_summary(self) -> dict[str, int]:
+        """Event counts by kind (``{"retry": 2, "degraded": 1, ...}``)."""
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def retries(self) -> int:
+        """Total task attempts beyond the first."""
+        return self.resilience_summary().get("retry", 0)
+
+    def degradations(self) -> list:
+        """The ``degraded`` events (e.g. panels that fell back to GEPP)."""
+        return [ev for ev in self.events if ev.kind == "degraded"]
 
     def busy_by_kind(self) -> dict[str, float]:
         out: dict[str, float] = {}
@@ -137,10 +159,14 @@ class Trace:
     def summary(self) -> str:
         by_kind = self.busy_by_kind()
         kinds = ", ".join(f"{k}: {v:.3g}s" for k, v in sorted(by_kind.items()))
-        return (
+        line = (
             f"makespan {self.makespan:.4g}s on {self.n_cores} cores, "
             f"idle {100 * self.idle_fraction():.1f}%  ({kinds})"
         )
+        res = self.resilience_summary()
+        if res:
+            line += "  [" + ", ".join(f"{k}: {v}" for k, v in sorted(res.items())) + "]"
+        return line
 
     # ------------------------------------------------------------------
     # Export
@@ -154,6 +180,7 @@ class Trace:
                 "n_cores": self.n_cores,
                 "makespan": self.makespan,
                 "idle_fraction": self.idle_fraction(),
+                "events": [ev.to_dict() for ev in self.events],
                 "records": [
                     {
                         "tid": r.tid,

@@ -1,11 +1,38 @@
-"""Shared fixtures and assertion helpers for the test suite."""
+"""Shared fixtures and assertion helpers for the test suite.
+
+The suite tests a threaded runtime, so a scheduling bug shows up as a
+*hang*, not a failure.  Two defenses make hangs diagnosable and bounded:
+``faulthandler`` is armed so a stuck run can dump every thread's stack,
+and an autouse fixture gives each test a hard wall-clock timeout
+(``PYTEST_SINGLE_TIMEOUT`` seconds, default 120) after which the stacks
+are dumped and the process exits non-zero instead of blocking CI
+forever.
+"""
 
 from __future__ import annotations
+
+import faulthandler
+import os
 
 import numpy as np
 import pytest
 
 from repro.kernels.lu import piv_to_perm
+
+faulthandler.enable()
+
+_TEST_TIMEOUT_S = float(os.environ.get("PYTEST_SINGLE_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout():
+    """Hard per-test timeout: dump all thread stacks and exit on a hang."""
+    if _TEST_TIMEOUT_S > 0:
+        faulthandler.dump_traceback_later(_TEST_TIMEOUT_S, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture

@@ -1,0 +1,77 @@
+"""Unit tests for retry policies and structured runtime failures."""
+
+import pytest
+
+from repro.resilience.events import ResilienceEvent
+from repro.resilience.faults import InjectedFault
+from repro.resilience.recovery import FAILURE_KINDS, RetryPolicy, RuntimeFailure
+from repro.runtime.task import Cost, Task, TaskKind
+from repro.runtime.trace import TaskRecord, Trace
+
+
+def mk_task(idempotent: bool = False) -> Task:
+    return Task(tid=0, name="t0", kind=TaskKind.S, cost=Cost("gemm"), idempotent=idempotent)
+
+
+class TestRetryPolicy:
+    def test_idempotent_task_is_retried(self):
+        p = RetryPolicy(max_retries=2)
+        assert p.should_retry(mk_task(idempotent=True), ValueError("x"), 0)
+
+    def test_non_idempotent_task_is_not_retried(self):
+        p = RetryPolicy(max_retries=2)
+        assert not p.should_retry(mk_task(), ValueError("x"), 0)
+
+    def test_pre_execution_fault_always_retryable(self):
+        p = RetryPolicy(max_retries=2)
+        exc = InjectedFault("boom", pre_execution=True)
+        assert p.should_retry(mk_task(), exc, 0)
+
+    def test_post_execution_fault_not_retryable_on_non_idempotent(self):
+        p = RetryPolicy(max_retries=2)
+        exc = InjectedFault("boom", pre_execution=False)
+        assert not p.should_retry(mk_task(), exc, 0)
+
+    def test_max_retries_bounds_attempts(self):
+        p = RetryPolicy(max_retries=2)
+        t = mk_task(idempotent=True)
+        assert p.should_retry(t, ValueError("x"), 1)
+        assert not p.should_retry(t, ValueError("x"), 2)
+
+    def test_zero_retries_disables(self):
+        p = RetryPolicy(max_retries=0, retry_all=True)
+        assert not p.should_retry(mk_task(idempotent=True), ValueError("x"), 0)
+
+    def test_retry_all_lifts_safety_check(self):
+        p = RetryPolicy(max_retries=1, retry_all=True)
+        assert p.should_retry(mk_task(), ValueError("x"), 0)
+
+    def test_exponential_backoff(self):
+        p = RetryPolicy(backoff_s=0.01, backoff_multiplier=2.0)
+        assert p.delay(0) == pytest.approx(0.01)
+        assert p.delay(2) == pytest.approx(0.04)
+
+
+class TestRuntimeFailure:
+    def test_is_a_runtime_error(self):
+        # Callers that catch RuntimeError (the pre-resilience contract)
+        # keep working.
+        assert issubclass(RuntimeFailure, RuntimeError)
+
+    def test_kind_vocabulary(self):
+        assert "timeout" in FAILURE_KINDS and "health" in FAILURE_KINDS
+
+    def test_carries_task_and_trace(self):
+        tr = Trace(
+            [TaskRecord(0, "t0", TaskKind.S, 0, 0.0, 1.0)],
+            2,
+            [ResilienceEvent("retry", "t0", 0)],
+        )
+        f = RuntimeFailure("boom", task="t0", tid=0, failure_kind="timeout", trace=tr)
+        assert f.task == "t0" and f.failure_kind == "timeout"
+        s = f.summary()
+        assert "timeout" in s and "t0" in s and "1 tasks completed" in s and "retry=1" in s
+
+    def test_summary_without_trace(self):
+        s = RuntimeFailure("boom", failure_kind="deadlock").summary()
+        assert s.startswith("deadlock")

@@ -1,0 +1,90 @@
+"""Fault injection on the simulated (virtual-time) executor."""
+
+import numpy as np
+import pytest
+
+from repro.machine.presets import generic
+from repro.resilience.events import ResilienceEvent
+from repro.resilience.faults import FaultPlan, InjectedFault
+from repro.resilience.recovery import RetryPolicy, RuntimeFailure
+from repro.runtime.graph import TaskGraph
+from repro.runtime.simulated import SimulatedExecutor
+from repro.runtime.task import Cost, TaskKind
+
+
+def line_graph(n: int = 4) -> TaskGraph:
+    g = TaskGraph("line")
+    prev = None
+    for i in range(n):
+        prev = g.add(
+            f"t{i}",
+            TaskKind.S,
+            Cost("gemm", 64, 64, 64, flops=1e6, words=1e4),
+            deps=[] if prev is None else [prev],
+        )
+    return g
+
+
+class TestVirtualFaults:
+    def test_stalls_extend_makespan(self):
+        mach = generic(2)
+        clean = SimulatedExecutor(mach).run(line_graph())
+        faulty = SimulatedExecutor(
+            mach, fault_plan=FaultPlan(0, stall_rate=1.0, stall_s=0.01)
+        ).run(line_graph())
+        assert faulty.makespan >= clean.makespan + 4 * 0.01 * 0.99
+        assert faulty.resilience_summary()["fault_stall"] == 4
+
+    def test_injected_raise_is_structured_with_partial_trace(self):
+        plan = FaultPlan(0, raise_rate={"S": 1.0}, max_faults=1)
+        with pytest.raises(RuntimeFailure) as ei:
+            SimulatedExecutor(generic(2), fault_plan=plan).run(line_graph())
+        assert ei.value.failure_kind == "injected"
+        assert isinstance(ei.value.__cause__, InjectedFault)
+        assert ei.value.trace is not None
+
+    def test_retry_recovers_and_costs_virtual_time(self):
+        mach = generic(2)
+        clean = SimulatedExecutor(mach).run(line_graph())
+        retry = RetryPolicy(max_retries=2, backoff_s=0.01)
+        tr = SimulatedExecutor(
+            mach, fault_plan=FaultPlan(0, raise_rate=1.0, transient=True), retry=retry
+        ).run(line_graph())
+        assert len(tr.records) == 4
+        assert tr.retries() == 4
+        assert tr.makespan > clean.makespan  # backoff shows up in virtual time
+
+    def test_same_plan_same_virtual_schedule(self):
+        def run():
+            plan = FaultPlan(5, raise_rate=0.5, stall_rate=0.5, transient=True)
+            tr = SimulatedExecutor(
+                generic(2), fault_plan=plan, retry=RetryPolicy(max_retries=3, backoff_s=0.01)
+            ).run(line_graph(8))
+            return tr.makespan, sorted((e.kind, e.tid) for e in tr.events)
+
+        assert run() == run()
+
+
+class TestExecuteMode:
+    def test_corruption_caught_by_health_guard(self):
+        arr = np.ones(8)
+
+        def guard():
+            if not np.isfinite(arr).all():
+                return ResilienceEvent("health", detail="NaN", fatal=True)
+            return None
+
+        g = TaskGraph("x")
+        g.add("t0", TaskKind.S, Cost("gemm", flops=1e3), fn=lambda: None, health=guard)
+        plan = FaultPlan(0, corrupt_rate=1.0, target=arr)
+        with pytest.raises(RuntimeFailure) as ei:
+            SimulatedExecutor(generic(1), execute=True, fault_plan=plan).run(g)
+        assert ei.value.failure_kind == "health"
+
+    def test_executes_closures_in_dependency_order(self):
+        out = []
+        g = TaskGraph("x")
+        g.add("a", TaskKind.S, Cost("gemm", flops=1e3), fn=lambda: out.append("a"))
+        g.add("b", TaskKind.S, Cost("gemm", flops=1e3), fn=lambda: out.append("b"), deps=[0])
+        SimulatedExecutor(generic(2), execute=True).run(g)
+        assert out == ["a", "b"]
