@@ -30,8 +30,11 @@ The package provides:
 
 ``repro.resilience``
     Fault injection (:class:`~repro.resilience.faults.FaultPlan`),
-    task retry policies, structured runtime failures and numerical
-    health guards — the runtime's recovery layer.
+    task retry policies, structured runtime failures, numerical
+    health guards, panel-granularity checkpoint/restart
+    (:class:`~repro.resilience.checkpoint.Checkpoint` +
+    :class:`~repro.resilience.journal.TaskJournal`) and ABFT
+    checksums for the trailing update — the runtime's recovery layer.
 
 ``repro.baselines``
     The comparison algorithms the paper benchmarks against: BLAS2
@@ -81,6 +84,10 @@ _EXPORTS = {
     "RetryPolicy": "repro.resilience.recovery",
     "RuntimeFailure": "repro.resilience.recovery",
     "ResilienceEvent": "repro.resilience.events",
+    "Checkpoint": "repro.resilience.checkpoint",
+    "FileStore": "repro.resilience.checkpoint",
+    "MemoryStore": "repro.resilience.checkpoint",
+    "TaskJournal": "repro.resilience.journal",
     "NumericalHealthWarning": "repro.resilience.health",
     "SolveReport": "repro.linalg",
     "solve": "repro.linalg",

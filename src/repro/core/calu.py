@@ -33,6 +33,9 @@ from repro.core.trees import TreeKind
 from repro.core.tslu import PanelWorkspace, add_tslu_tasks
 from repro.kernels.blas import gemm, laswp, trsm_llnu, trsm_runn
 from repro.kernels.lu import piv_to_perm
+from repro.resilience.abft import gemm_abft_guard, gemm_checksums
+from repro.resilience.checkpoint import restore_matrix
+from repro.resilience.events import ResilienceEvent
 from repro.resilience.health import finite_block_guard, validate_matrix
 from repro.resilience.recovery import RuntimeFailure
 from repro.runtime.graph import BlockTracker, TaskGraph
@@ -81,6 +84,42 @@ def _s_fn(A: np.ndarray, k0: int, bk: int, c0: int, c1: int, r0: int, r1: int, j
     return fn
 
 
+def _s_fn_abft(
+    A: np.ndarray, k0: int, bk: int, c0: int, c1: int, r0: int, r1: int, j0: int, j1: int, cell: list
+):
+    """S-task closure that also posts Huang-Abraham checksums.
+
+    The expected row/column sums of ``C - L U`` are computed from the
+    pre-update operands and left in *cell* for the task's ABFT health
+    guard, which runs after any injected corruption and repairs a
+    single bad element in place.
+    """
+
+    def fn() -> None:
+        C = A[r0:r1, j0:j1]
+        L = A[r0:r1, c0:c1]
+        U = A[k0 : k0 + bk, j0:j1]
+        cell[0] = gemm_checksums(C, L, U)
+        gemm(C, L, U)
+
+    return fn
+
+
+def _corrupt_block(A: np.ndarray, r0: int, r1: int, j0: int, j1: int):
+    """Corruption hook for an S task: flip one element of its output
+    block to a large finite value (a bit-flip-style soft error)."""
+
+    def corrupt() -> bool:
+        block = A[r0:r1, j0:j1]
+        if block.size == 0:
+            return False
+        i, j = (r1 - r0) // 2, (j1 - j0) // 2
+        block[i, j] = block[i, j] * 3.0 + 1e6
+        return True
+
+    return corrupt
+
+
 def _leftswap_fn(A: np.ndarray, layout: BlockLayout, workspaces: list[PanelWorkspace]):
     def fn() -> None:
         for K, ws in enumerate(workspaces):
@@ -89,6 +128,50 @@ def _leftswap_fn(A: np.ndarray, layout: BlockLayout, workspaces: list[PanelWorks
                 laswp(A[k0 : layout.m, :k0], ws.piv)
 
     return fn
+
+
+def _ckpt_fn(A: np.ndarray, layout: BlockLayout, ckpt, K: int, workspaces: list[PanelWorkspace]):
+    """Snapshot closure for the boundary-*K* checkpoint task.
+
+    Saves the panel columns and U block rows factored since the
+    previous boundary (final bytes, modulo the terminal left-swap task
+    which always re-runs on resume), the live trailing matrix, and the
+    covered panels' pivot sequences and degradation flags.
+    """
+
+    def fn() -> None:
+        m, n, b = layout.m, layout.n, layout.b
+        prevK = ckpt.prev_boundary(K)
+        prev_c1 = prevK * b + layout.panel_width(prevK) if prevK >= 0 else 0
+        c1 = K * b + layout.panel_width(K)
+        extra: dict = {}
+        for P in range(max(prevK + 1, 0), K + 1):
+            ws = workspaces[P]
+            if ws.piv is not None:
+                extra[f"piv{P}"] = np.asarray(ws.piv, dtype=np.int64)
+            extra[f"flags{P}"] = np.array(
+                [int(ws.degraded), int(ws.recomputed)], dtype=np.int64
+            )
+        ckpt.save_snapshot(
+            K,
+            cols=A[:, prev_c1:c1],
+            urows=A[prev_c1:c1, c1:n],
+            trailing=A[c1:m, c1:n],
+            extra=extra,
+        )
+
+    return fn
+
+
+def _ckpt_guard(K: int, name: str):
+    """Emit a (non-fatal) ``checkpoint`` event once the snapshot is saved."""
+
+    def guard() -> ResilienceEvent:
+        return ResilienceEvent(
+            "checkpoint", task=name, detail=f"panel boundary {K} snapshot saved"
+        )
+
+    return guard
 
 
 def build_calu_graph(
@@ -104,6 +187,9 @@ def build_calu_graph(
     update_width: int | None = None,
     update_library: str | None = None,
     guards: bool = True,
+    checkpoint=None,
+    abft: bool = False,
+    recompute: bool = True,
 ) -> tuple[TaskGraph, list[PanelWorkspace]]:
     """Build the CALU task graph for *layout*.
 
@@ -126,6 +212,15 @@ def build_calu_graph(
     under a different library personality (the paper's closing
     suggestion: "combining a fast panel factorization as in CALU with a
     highly optimized update of the trailing matrix as in MKL_dgetrf").
+
+    *checkpoint* (a :class:`~repro.resilience.checkpoint.Checkpoint`,
+    numeric runs only) adds one ``C[K]`` snapshot task per selected
+    panel boundary, reading every block iteration ``K`` wrote so the
+    block tracker serializes it before any iteration-``K+1`` writer.
+    *abft* replaces the S tasks' finiteness guard with Huang-Abraham
+    checksum verification that repairs single-element corruption in
+    place.  *recompute* enables the TSLU tournament-replay rung of the
+    recovery ladder (see :func:`repro.core.tslu.add_tslu_tasks`).
     """
     graph = TaskGraph(f"calu{layout.m}x{layout.n}b{layout.b}tr{tr}")
     tracker = BlockTracker()
@@ -161,6 +256,7 @@ def build_calu_graph(
             arity=arity,
             guards=guards,
             absmax=absmax,
+            recompute=recompute,
         )
 
         # Task L: blocks of the current column of L (dtrsm).
@@ -252,17 +348,25 @@ def build_calu_graph(
                 )
                 blocks = [(i, Jc) for Jc in jcols for i in range(r0 // b, chunk.b1)]
                 s_name = f"S[{K}]{chunk.index},{J}"
-                s_meta = (
-                    {"health": finite_block_guard(A, r0, chunk.r1, j0, j1, s_name)}
-                    if guards
-                    else {}
-                )
+                if guards and abft:
+                    cell: list = [None]
+                    s_fn = _s_fn_abft(A, k0, bk, c0, c1, r0, chunk.r1, j0, j1, cell)
+                    s_meta = {
+                        "health": gemm_abft_guard(A, r0, chunk.r1, j0, j1, cell, s_name),
+                        "corrupt": _corrupt_block(A, r0, chunk.r1, j0, j1),
+                    }
+                elif guards:
+                    s_fn = _s_fn(A, k0, bk, c0, c1, r0, chunk.r1, j0, j1)
+                    s_meta = {"health": finite_block_guard(A, r0, chunk.r1, j0, j1, s_name)}
+                else:
+                    s_fn = _s_fn(A, k0, bk, c0, c1, r0, chunk.r1, j0, j1) if numeric else None
+                    s_meta = {}
                 tracker.add_task(
                     graph,
                     s_name,
                     TaskKind.S,
                     cost_s,
-                    fn=_s_fn(A, k0, bk, c0, c1, r0, chunk.r1, j0, j1) if numeric else None,
+                    fn=s_fn,
                     reads=[(i, K) for i in range(r0 // b, chunk.b1)]
                     + [(K, Jc) for Jc in jcols],
                     writes=blocks,
@@ -271,6 +375,38 @@ def build_calu_graph(
                     iteration=K,
                     **s_meta,
                 )
+
+        # Task C: the boundary-K checkpoint.  Reading every block the
+        # iteration wrote gives it RAW edges from all of iteration K's
+        # tasks and WAR edges to iteration K+1's writers, so the
+        # snapshot sees exactly the boundary state — consistent even
+        # under look-ahead pipelining.
+        if numeric and checkpoint is not None and checkpoint.should_snapshot(K):
+            prevK = checkpoint.prev_boundary(K)
+            prev_c1 = prevK * b + layout.panel_width(prevK) if prevK >= 0 else 0
+            ck_words = 2.0 * (
+                m * (c1 - prev_c1)
+                + (c1 - prev_c1) * max(n - c1, 0)
+                + max(m - c1, 0) * max(n - c1, 0)
+            )
+            ck_name = f"C[{K}]"
+            ck_reads = [
+                (i, J)
+                for J in range(max(prevK + 1, 0), N)
+                for i in range(layout.M)
+                if J <= K or i > prevK
+            ]
+            tracker.add_task(
+                graph,
+                ck_name,
+                TaskKind.X,
+                Cost("laswp", words=ck_words, library=library),
+                fn=_ckpt_fn(A, layout, checkpoint, K, workspaces),
+                reads=ck_reads,
+                priority=task_priority("X", K, lookahead=lookahead, n_cols=N) + 1.0,
+                iteration=K,
+                health=_ckpt_guard(K, ck_name),
+            )
 
     # Deferred left swaps (Algorithm 1 line 41).  Depends on all sinks,
     # i.e. transitively on the entire factorization.
@@ -301,7 +437,10 @@ class CALUFactorization:
 
     ``trace`` is the executor's schedule (with its resilience event
     log); ``degraded_panels`` lists the panel indices whose tournament
-    fell back to partial pivoting after a detected corruption.
+    fell back to partial pivoting after a detected corruption, and
+    ``recovered_panels`` the panels whose corrupted tournament was
+    instead repaired by replaying it from clean panel data (pivots
+    identical to a fault-free run).
     """
 
     lu: np.ndarray
@@ -311,6 +450,7 @@ class CALUFactorization:
     tree: TreeKind
     trace: Trace | None = None
     degraded_panels: tuple[int, ...] = ()
+    recovered_panels: tuple[int, ...] = ()
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -378,6 +518,9 @@ def calu(
     update_width: int | None = None,
     check_finite: bool = True,
     guards: bool = True,
+    checkpoint=None,
+    abft: bool = False,
+    tournament_recompute: bool = True,
 ) -> CALUFactorization:
     """Factor ``A`` with multithreaded CALU (Algorithm 1).
 
@@ -400,6 +543,19 @@ def calu(
         :func:`build_calu_graph`); disabled, a corrupted run may
         raise from deep inside a kernel instead of degrading
         gracefully.
+    checkpoint : optional
+        :class:`~repro.resilience.checkpoint.Checkpoint` arming the
+        checkpoint/restart path: panel-boundary snapshots plus a
+        write-ahead task journal.  Call :func:`calu` again with the
+        same *checkpoint* (and the same input ``A``) after a crash and
+        the run resumes from the newest restorable boundary, skipping
+        journaled tasks, with **bitwise-identical** factors.
+    abft : verify every trailing (S) update against Huang-Abraham
+        checksums, repairing single-element corruption in place
+        (recorded as ``abft_correct`` events) instead of aborting.
+    tournament_recompute : allow a corrupted TSLU tournament to be
+        replayed from clean panel data (identical pivots; recorded in
+        ``recovered_panels``) before degrading to partial pivoting.
 
     Returns a :class:`CALUFactorization`.
     """
@@ -422,13 +578,57 @@ def calu(
         leaf_kernel=leaf_kernel,
         update_width=update_width,
         guards=guards,
+        checkpoint=checkpoint,
+        abft=abft,
+        recompute=tournament_recompute,
     )
+    journal = None
+    if checkpoint is not None:
+        import zlib
+
+        signature = {
+            "algo": "calu",
+            "m": m,
+            "n": n,
+            "b": int(b),
+            "tr": int(tr),
+            "tree": tree.value,
+            "leaf_kernel": leaf_kernel,
+            "update_width": update_width,
+            "a_digest": zlib.crc32(A.tobytes()),
+        }
+        usable = checkpoint.prepare(signature)
+        resumed_from, snaps = (
+            restore_matrix(A, layout, checkpoint) if usable else (-1, {})
+        )
+        # The journal from a crashed run holds mid-panel completions
+        # whose effects are NOT in the restored matrix (it carries the
+        # *boundary* state); reseed it with exactly the tasks the
+        # snapshot covers.  The terminal left-swap task is never marked:
+        # snapshots are taken before it, so it must always re-run.
+        journal = checkpoint.journal()
+        journal.reset()
+        journal.bind(graph)
+        if resumed_from >= 0:
+            for snap in snaps.values():
+                for key, val in snap.items():
+                    if key.startswith("piv"):
+                        workspaces[int(key[3:])].piv = np.asarray(val)
+                    elif key.startswith("flags"):
+                        ws = workspaces[int(key[5:])]
+                        ws.degraded = bool(val[0])
+                        ws.recomputed = bool(val[1])
+            journal.mark_completed(
+                t.name
+                for t in graph.tasks
+                if t.iteration <= resumed_from and t.name != "leftswaps"
+            )
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
     plan = getattr(executor, "fault_plan", None)
     if plan is not None and plan.target is None:
         plan.target = A
-    trace = executor.run(graph)
+    trace = executor.run(graph, journal=journal) if journal is not None else executor.run(graph)
     if guards and not np.isfinite(A).all():
         # Last line of defense: a corruption that landed outside every
         # guarded block (e.g. in an already-finished region) must still
@@ -446,6 +646,14 @@ def calu(
         assert ws.piv is not None
         piv[k0 : k0 + bk] = ws.piv[:bk] + k0
     degraded = tuple(K for K, ws in enumerate(workspaces) if ws.degraded)
+    recovered = tuple(K for K, ws in enumerate(workspaces) if ws.recomputed)
     return CALUFactorization(
-        lu=A, piv=piv, b=b, tr=tr, tree=tree, trace=trace, degraded_panels=degraded
+        lu=A,
+        piv=piv,
+        b=b,
+        tr=tr,
+        tree=tree,
+        trace=trace,
+        degraded_panels=degraded,
+        recovered_panels=recovered,
     )

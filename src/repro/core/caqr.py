@@ -30,6 +30,8 @@ from repro.core.trees import TreeKind
 from repro.core.tsqr import MergeStep, PanelQRStore, add_tsqr_tasks
 from repro.kernels.qr import larfb_left_t
 from repro.kernels.structured import tpmqrt_left_t
+from repro.resilience.checkpoint import restore_matrix
+from repro.resilience.events import ResilienceEvent
 from repro.resilience.health import finite_block_guard, validate_matrix
 from repro.resilience.recovery import RuntimeFailure
 from repro.runtime.graph import BlockTracker, TaskGraph
@@ -63,6 +65,44 @@ def _merge_update_fn(A: np.ndarray, store: PanelQRStore, pair_indices: list[int]
     return fn
 
 
+def _ckpt_fn(A: np.ndarray, layout: BlockLayout, ckpt, K: int, stores: list[PanelQRStore]):
+    """Snapshot closure for the boundary-*K* CAQR checkpoint task.
+
+    Besides the matrix regions (packed ``V``/``R`` columns, final
+    ``R`` block rows, live trailing matrix) the covered panels'
+    implicit-Q stores are flattened into the payload — a resumed run
+    needs them for ``apply_q``/``apply_qt``.
+    """
+
+    def fn() -> None:
+        m, n, b = layout.m, layout.n, layout.b
+        prevK = ckpt.prev_boundary(K)
+        prev_c1 = prevK * b + layout.panel_width(prevK) if prevK >= 0 else 0
+        c1 = K * b + layout.panel_width(K)
+        extra: dict = {}
+        for P in range(max(prevK + 1, 0), K + 1):
+            for key, val in stores[P].to_arrays().items():
+                extra[f"q{P}_{key}"] = val
+        ckpt.save_snapshot(
+            K,
+            cols=A[:, prev_c1:c1],
+            urows=A[prev_c1:c1, c1:n],
+            trailing=A[c1:m, c1:n],
+            extra=extra,
+        )
+
+    return fn
+
+
+def _ckpt_guard(K: int, name: str):
+    def guard() -> ResilienceEvent:
+        return ResilienceEvent(
+            "checkpoint", task=name, detail=f"panel boundary {K} snapshot saved"
+        )
+
+    return guard
+
+
 def build_caqr_graph(
     layout: BlockLayout,
     tr: int,
@@ -74,6 +114,7 @@ def build_caqr_graph(
     leaf_kernel: str = "geqr3",
     arity: int = 4,
     guards: bool = True,
+    checkpoint=None,
 ) -> tuple[TaskGraph, list[PanelQRStore]]:
     """Build the CAQR task graph; symbolic when ``A`` is None.
 
@@ -81,7 +122,8 @@ def build_caqr_graph(
     (numeric runs only) the panel tasks and trailing updates carry
     finiteness health guards: QR has no partial-pivoting fallback, so a
     corrupted panel surfaces as a fatal structured failure rather than
-    silently wrong factors.
+    silently wrong factors.  *checkpoint* adds per-boundary ``C[K]``
+    snapshot tasks exactly as in :func:`repro.core.calu.build_calu_graph`.
     """
     graph = TaskGraph(f"caqr{layout.m}x{layout.n}b{layout.b}tr{tr}")
     tracker = BlockTracker()
@@ -205,6 +247,35 @@ def build_caqr_graph(
                     iteration=K,
                     **s_meta,
                 )
+
+        # Task C: the boundary-K checkpoint (see build_calu_graph).
+        if numeric and checkpoint is not None and checkpoint.should_snapshot(K):
+            m, n, b = layout.m, layout.n, layout.b
+            prevK = checkpoint.prev_boundary(K)
+            prev_c1 = prevK * b + layout.panel_width(prevK) if prevK >= 0 else 0
+            ck_words = 2.0 * (
+                m * (c1 - prev_c1)
+                + (c1 - prev_c1) * max(n - c1, 0)
+                + max(m - c1, 0) * max(n - c1, 0)
+            )
+            ck_name = f"C[{K}]"
+            ck_reads = [
+                (i, J)
+                for J in range(max(prevK + 1, 0), N)
+                for i in range(layout.M)
+                if J <= K or i > prevK
+            ]
+            tracker.add_task(
+                graph,
+                ck_name,
+                TaskKind.X,
+                Cost("laswp", words=ck_words, library=library),
+                fn=_ckpt_fn(A, layout, checkpoint, K, stores),
+                reads=ck_reads,
+                priority=task_priority("X", K, lookahead=lookahead, n_cols=N) + 1.0,
+                iteration=K,
+                health=_ckpt_guard(K, ck_name),
+            )
     return graph, stores
 
 
@@ -290,11 +361,15 @@ def caqr(
     overwrite: bool = False,
     check_finite: bool = True,
     guards: bool = True,
+    checkpoint=None,
 ) -> CAQRFactorization:
     """Factor ``A`` with multithreaded CAQR (Algorithm 2).
 
     Parameters mirror :func:`repro.core.calu.calu`; the default tree is
     the height-1 (flat) reduction the paper uses for its CAQR results.
+    *checkpoint* arms the checkpoint/restart path: snapshots also carry
+    the implicit-Q tree factors, so a resumed run returns a fully
+    usable factorization with **bitwise-identical** ``R`` and ``Q``.
     """
     A = validate_matrix(A, "A", require_finite=check_finite)
     dtype = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
@@ -305,14 +380,65 @@ def caqr(
         b = min(100, n)
     layout = BlockLayout(m, n, b)
     graph, stores = build_caqr_graph(
-        layout, tr, tree, A=A, lookahead=lookahead, leaf_kernel=leaf_kernel, guards=guards
+        layout,
+        tr,
+        tree,
+        A=A,
+        lookahead=lookahead,
+        leaf_kernel=leaf_kernel,
+        guards=guards,
+        checkpoint=checkpoint,
     )
+    journal = None
+    if checkpoint is not None:
+        import zlib
+
+        signature = {
+            "algo": "caqr",
+            "m": m,
+            "n": n,
+            "b": int(b),
+            "tr": int(tr),
+            "tree": tree.value,
+            "leaf_kernel": leaf_kernel,
+            "a_digest": zlib.crc32(A.tobytes()),
+        }
+        usable = checkpoint.prepare(signature)
+        resumed_from, snaps = (
+            restore_matrix(A, layout, checkpoint) if usable else (-1, {})
+        )
+        journal = checkpoint.journal()
+        journal.reset()
+        journal.bind(graph)
+        if resumed_from >= 0:
+            # Rebuild the covered panels' implicit-Q stores in place
+            # (the task closures and the returned factorization share
+            # the store objects).
+            for snap in snaps.values():
+                per_panel: dict[int, dict] = {}
+                for key, val in snap.items():
+                    if not key.startswith("q"):
+                        continue
+                    head, _, rest = key.partition("_")
+                    try:
+                        P = int(head[1:])
+                    except ValueError:
+                        continue
+                    per_panel.setdefault(P, {})[rest] = val
+                for P, arrays in per_panel.items():
+                    restored = PanelQRStore.from_arrays(arrays)
+                    stores[P].leaves.clear()
+                    stores[P].leaves.update(restored.leaves)
+                    stores[P].merges[:] = restored.merges
+            journal.mark_completed(
+                t.name for t in graph.tasks if t.iteration <= resumed_from
+            )
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
     plan = getattr(executor, "fault_plan", None)
     if plan is not None and plan.target is None:
         plan.target = A
-    trace = executor.run(graph)
+    trace = executor.run(graph, journal=journal) if journal is not None else executor.run(graph)
     if guards and not np.isfinite(A).all():
         raise RuntimeFailure(
             "CAQR produced non-finite factors (undetected corruption)",

@@ -59,6 +59,14 @@ class PanelWorkspace:
     cand_gidx: dict[int, np.ndarray] = field(default_factory=dict)
     piv: np.ndarray | None = None
     degraded: bool = False
+    #: Set when the finalize task repaired a corrupted tournament by
+    #: replaying the whole reduction from the (untouched) panel data —
+    #: the first rung of the recovery ladder, yielding pivots identical
+    #: to a fault-free run.
+    recomputed: bool = False
+    #: Permission for that replay; disabled, the finalize task degrades
+    #: straight to partial pivoting (the historical behaviour).
+    allow_recompute: bool = True
 
 
 def _select_pivots(block: np.ndarray, leaf_kernel: str) -> np.ndarray:
@@ -160,6 +168,12 @@ def _panel_guard(
                 detail=f"panel {K}: non-finite values in factored pivot block",
                 fatal=True,
             )
+        if ws.recomputed:
+            return ResilienceEvent(
+                kind="recompute",
+                task=name,
+                detail=f"panel {K}: corrupted tournament replayed from clean panel data",
+            )
         if ws.degraded:
             return ResilienceEvent(
                 kind="degraded",
@@ -180,7 +194,62 @@ def _panel_guard(
     return guard
 
 
-def _finalize_fn(A: np.ndarray, k0: int, m: int, c0: int, c1: int, ws: PanelWorkspace, root: int):
+def _recompute_tournament(
+    A: np.ndarray,
+    k0: int,
+    c0: int,
+    c1: int,
+    chunks: list[Chunk],
+    tree: TreeKind,
+    arity: int,
+    leaf_kernel: str,
+) -> np.ndarray | None:
+    """Replay a panel's whole tournament serially from the matrix.
+
+    The tournament tasks only *read* the panel (candidates are copies),
+    so after a corruption of the candidate buffers the reduction can be
+    replayed from the untouched panel data.  The replay runs the exact
+    leaf and merge selections of the task graph, so the returned root
+    candidate indices — and hence the pivots — are identical to a
+    fault-free run.  Returns None when the panel itself is unusable
+    (non-finite entries), which sends the finalize task down the next
+    rung of the ladder.
+    """
+    cand_rows: dict[int, np.ndarray] = {}
+    cand_gidx: dict[int, np.ndarray] = {}
+    for chunk in chunks:
+        block = A[chunk.r0 : chunk.r1, c0:c1]
+        if not np.isfinite(block).all():
+            return None
+        sel = _select_pivots(block, leaf_kernel)
+        cand_rows[chunk.index] = block[sel].copy()
+        cand_gidx[chunk.index] = (chunk.r0 - k0) + sel
+    slots = [c.index for c in chunks]
+    for level in reduction_schedule(len(slots), tree, arity):
+        for dst_pos, src_pos in level:
+            dst = slots[dst_pos]
+            srcs = [slots[p] for p in src_pos]
+            rows = np.vstack([cand_rows[s] for s in srcs])
+            gidx = np.concatenate([cand_gidx[s] for s in srcs])
+            sel = _select_pivots(rows, leaf_kernel)
+            cand_rows[dst] = rows[sel].copy()
+            cand_gidx[dst] = gidx[sel]
+    return cand_gidx[slots[0]]
+
+
+def _finalize_fn(
+    A: np.ndarray,
+    k0: int,
+    m: int,
+    c0: int,
+    c1: int,
+    ws: PanelWorkspace,
+    root: int,
+    chunks: list[Chunk] | None = None,
+    tree: TreeKind = TreeKind.BINARY,
+    arity: int = 4,
+    leaf_kernel: str = "rgetf2",
+):
     def fn() -> None:
         gidx = ws.cand_gidx.get(root)
         cand = ws.cand_rows.get(root)
@@ -190,9 +259,19 @@ def _finalize_fn(A: np.ndarray, k0: int, m: int, c0: int, c1: int, ws: PanelWork
             or cand is None
             or not np.isfinite(cand).all()
         )
+        if degraded and ws.allow_recompute and chunks is not None:
+            # Recovery ladder, rung 1: the tournament tasks never wrote
+            # the matrix, so replay the whole reduction from the clean
+            # panel.  Success restores fault-free pivots bit for bit.
+            replayed = _recompute_tournament(A, k0, c0, c1, chunks, tree, arity, leaf_kernel)
+            if replayed is not None:
+                gidx = replayed
+                degraded = False
+                ws.degraded = False
+                ws.recomputed = True
         if degraded:
-            # Graceful degradation: the tournament's candidates are
-            # unusable, so select pivots by classic GEPP partial
+            # Rung 2 — graceful degradation: the tournament's candidates
+            # are unusable, so select pivots by classic GEPP partial
             # pivoting on a *copy* of the panel (selection only — the
             # actual panel is then swapped and factored exactly as in
             # the tournament path, leaving the sub-pivot rows for the
@@ -226,6 +305,7 @@ def add_tslu_tasks(
     arity: int = 4,
     guards: bool = True,
     absmax: float | None = None,
+    recompute: bool = True,
 ) -> int:
     """Emit the TSLU tasks for panel *K*; returns the finalize task id.
 
@@ -239,7 +319,9 @@ def add_tslu_tasks(
     hooks so a :class:`~repro.resilience.faults.FaultPlan` can target
     the workspace instead of the matrix.  *absmax* (the panel's
     pre-factorization magnitude) enables the pivot-growth monitor on
-    the finalize task.
+    the finalize task.  *recompute* lets the finalize task repair a
+    corrupted tournament by replaying it from the clean panel data
+    (identical pivots) before degrading to partial pivoting.
     """
     c0, c1 = layout.col_range(K)
     c1 = min(c1, K * layout.b + layout.panel_width(K))
@@ -247,6 +329,8 @@ def add_tslu_tasks(
     k0 = K * layout.b
     m = layout.m
     numeric = A is not None
+    if numeric and ws is not None:
+        ws.allow_recompute = bool(recompute)
     prio_p = task_priority("P", K, lookahead=lookahead, n_cols=layout.N)
 
     producer: dict[int, int] = {}
@@ -321,7 +405,11 @@ def add_tslu_tasks(
         words=2.0 * bk * bk + 2.0 * bk * bk,  # swaps across the panel + factor traffic
         library=library,
     )
-    fn = _finalize_fn(A, k0, m, c0, c1, ws, root) if numeric else None
+    fn = (
+        _finalize_fn(A, k0, m, c0, c1, ws, root, chunks, tree, arity, leaf_kernel)
+        if numeric
+        else None
+    )
     name = f"F[{K}]"
     meta = {}
     if numeric and guards:

@@ -96,6 +96,52 @@ class PanelQRStore:
             W = T @ (V.T @ Cv)
             Cv -= V @ W
 
+    # ------------------------------------------------------------------
+    # Checkpoint serialization
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict:
+        """Flatten the store to named arrays (checkpoint payloads)."""
+        out: dict = {"n_merges": np.int64(len(self.merges))}
+        for slot, leaf in self.leaves.items():
+            out[f"leaf{slot}_idx"] = np.array([leaf.slot, leaf.r0, leaf.r1], dtype=np.int64)
+            out[f"leaf{slot}_V"] = leaf.V
+            out[f"leaf{slot}_T"] = leaf.T
+        for i, mf in enumerate(self.merges):
+            if mf is None:
+                continue
+            out[f"merge{i}_idx"] = np.array([mf.top0, mf.bot0, mf.r], dtype=np.int64)
+            out[f"merge{i}_Vb"] = mf.Vb
+            out[f"merge{i}_T"] = mf.T
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "PanelQRStore":
+        """Inverse of :meth:`to_arrays`."""
+        store = cls()
+        store.merges = [None] * int(arrays.get("n_merges", 0))
+        for key, val in arrays.items():
+            if not key.endswith("_idx"):
+                continue
+            if key.startswith("leaf"):
+                slot = int(key[4:-4])
+                store.leaves[slot] = LeafFactor(
+                    slot=int(val[0]),
+                    r0=int(val[1]),
+                    r1=int(val[2]),
+                    V=np.asarray(arrays[f"leaf{slot}_V"]),
+                    T=np.asarray(arrays[f"leaf{slot}_T"]),
+                )
+            elif key.startswith("merge"):
+                i = int(key[5:-4])
+                store.merges[i] = MergeFactor(
+                    top0=int(val[0]),
+                    bot0=int(val[1]),
+                    r=int(val[2]),
+                    Vb=np.asarray(arrays[f"merge{i}_Vb"]),
+                    T=np.asarray(arrays[f"merge{i}_T"]),
+                )
+        return store
+
 
 @dataclass
 class MergeStep:

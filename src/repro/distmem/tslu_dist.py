@@ -22,8 +22,13 @@ from repro.core.trees import TreeKind, reduction_schedule
 from repro.distmem.comm import CommLog, RowBlocks
 from repro.kernels.blas import trsm_runn
 from repro.kernels.lu import getf2, getf2_nopiv, perm_from_piv_rows, piv_to_perm, rgetf2
+from repro.resilience.events import ResilienceEvent
 
 __all__ = ["DistPanelLU", "distributed_tslu", "distributed_gepp_panel"]
+
+#: Virtual rank standing in for stable storage (checkpointed block
+#: replicas); a recovery fetch is counted as a message from it.
+STORAGE_RANK = -1
 
 
 @dataclass
@@ -32,12 +37,15 @@ class DistPanelLU:
 
     ``lu`` is the gathered packed factorization (``m x b``), ``piv``
     the LAPACK-style swap sequence, ``comm`` the full message log.
+    ``recovered_ranks`` lists dead participants whose share of the
+    tournament surviving ranks recomputed (lost-participant recovery).
     """
 
     lu: np.ndarray
     piv: np.ndarray
     comm: CommLog
     P: int
+    recovered_ranks: tuple = ()
 
 
 def _broadcast(log: CommLog, root: int, ranks: list[int], words: int) -> None:
@@ -61,6 +69,7 @@ def distributed_tslu(
     tree: TreeKind = TreeKind.BINARY,
     leaf_kernel: str = "rgetf2",
     comm: CommLog | None = None,
+    dead_ranks: tuple = (),
 ) -> DistPanelLU:
     """Tournament-pivoting LU of a distributed ``m x b`` panel.
 
@@ -68,6 +77,16 @@ def distributed_tslu(
     ``CommLog(fault_plan=FaultPlan(...))`` to run the tournament over a
     lossy network; the pivots are unchanged (reliable transport), only
     the counted traffic grows by the retransmissions.
+
+    *dead_ranks* models lost participants: each dead rank's *buddy*
+    (the next surviving rank, cyclically) fetches the dead rank's block
+    from stable storage (counted as a message from the virtual rank
+    :data:`STORAGE_RANK`), recomputes its leaf candidates, and stands
+    in for it at every tree merge, broadcast and row exchange.  The
+    candidate data is identical, so the pivots — and the factors — are
+    exactly those of a fault-free run; only the message routing and the
+    per-survivor work change.  Recoveries are logged as ``rank_loss``
+    events on ``comm.events`` and reported in ``recovered_ranks``.
     """
     A = np.asarray(A, dtype=float)
     m, b = A.shape
@@ -78,18 +97,56 @@ def distributed_tslu(
     local = dist.scatter(A)
     ranks = dist.active_ranks
 
-    # Leaves: local GEPP chooses up to b candidate rows (no communication).
+    dead = tuple(sorted(set(int(r) for r in dead_ranks)))
+    unknown = [r for r in dead if r not in ranks]
+    if unknown:
+        raise ValueError(f"dead_ranks {unknown} not among active ranks {ranks}")
+    alive = [r for r in ranks if r not in dead]
+    if not alive:
+        raise ValueError("all ranks dead: nothing can recover the panel")
+
+    def buddy(r: int) -> int:
+        """The next surviving rank after *r*, cyclically."""
+        pos = ranks.index(r)
+        for off in range(1, len(ranks) + 1):
+            cand = ranks[(pos + off) % len(ranks)]
+            if cand in alive:
+                return cand
+        raise AssertionError("unreachable: alive is non-empty")
+
+    owner = {r: (buddy(r) if r in dead else r) for r in ranks}
+
+    # Leaves: local GEPP chooses up to b candidate rows (no
+    # communication for survivors; a dead rank's buddy first fetches
+    # the lost block from stable storage).
     cand_rows: dict[int, np.ndarray] = {}
     cand_gidx: dict[int, np.ndarray] = {}
+    if dead:
+        log.new_round()
     for r in ranks:
         block = local[r]
+        if r in dead:
+            log.send(STORAGE_RANK, owner[r], np.empty(block.size))
+            log.events.append(
+                ResilienceEvent(
+                    "rank_loss",
+                    task=f"rank{r}",
+                    detail=(
+                        f"rank {r} lost; rank {owner[r]} fetched its block "
+                        f"({block.size} words) and recomputed its candidates"
+                    ),
+                    value=float(r),
+                )
+            )
         work = block.copy()
         piv = rgetf2(work) if leaf_kernel == "rgetf2" and work.shape[0] >= b else getf2(work)
         sel = piv_to_perm(piv, block.shape[0])[: min(block.shape[0], b)]
         cand_rows[r] = block[sel].copy()
         cand_gidx[r] = dist.bounds(r)[0] + sel
 
-    # Tree reduction: one message round per level.
+    # Tree reduction: one message round per level.  Slots of dead ranks
+    # are serviced by their buddies — the reduction *shape* (and hence
+    # the candidate merge order and the pivots) is unchanged.
     for level in reduction_schedule(len(ranks), tree):
         log.new_round()
         for dst_pos, src_pos in level:
@@ -100,7 +157,9 @@ def distributed_tslu(
                 src = ranks[p]
                 if src == dst:
                     continue
-                log.send(src, dst, np.empty(cand_rows[src].size + cand_gidx[src].size))
+                log.send(
+                    owner[src], owner[dst], np.empty(cand_rows[src].size + cand_gidx[src].size)
+                )
                 rows.append(cand_rows[src])
                 gidx.append(cand_gidx[src])
             stacked = np.vstack(rows)
@@ -114,10 +173,12 @@ def distributed_tslu(
     root = ranks[0]
     pivots = cand_gidx[root]  # global row indices, in pivot order
 
-    # Root factors the pivot block and broadcasts U_kk + the pivot list.
+    # Root factors the pivot block and broadcasts U_kk + the pivot list
+    # to the survivors (a dead rank's share of the panel now lives with
+    # its buddy, so only survivors participate).
     Ukk_block = cand_rows[root].copy()
     getf2_nopiv(Ukk_block)
-    _broadcast(log, root, ranks, words=b * b + len(pivots))
+    _broadcast(log, owner[root], alive, words=b * b + len(pivots))
 
     # Apply the swaps on the gathered matrix; rows that cross ranks are
     # exchanged pairwise in one concurrent round.
@@ -127,7 +188,7 @@ def distributed_tslu(
     for i in range(len(piv_seq)):
         p = int(piv_seq[i])
         if p != i:
-            o1, o2 = dist.owner(i), dist.owner(p)
+            o1, o2 = owner[dist.owner(i)], owner[dist.owner(p)]
             if o1 != o2:
                 log.send(o2, o1, np.empty(b))
                 log.send(o1, o2, np.empty(b))
@@ -137,7 +198,7 @@ def distributed_tslu(
     # of the rows become L by local triangular solves (no communication).
     getf2_nopiv(out[:b])
     trsm_runn(out[:b], out[b:])
-    return DistPanelLU(lu=out, piv=piv_seq, comm=log, P=len(ranks))
+    return DistPanelLU(lu=out, piv=piv_seq, comm=log, P=len(ranks), recovered_ranks=dead)
 
 
 def distributed_gepp_panel(A: np.ndarray, P: int = 4) -> DistPanelLU:

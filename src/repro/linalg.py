@@ -71,6 +71,7 @@ def solve(
     auto_refine: bool = True,
     rtol: float | None = None,
     report: bool = False,
+    checkpoint=None,
 ) -> np.ndarray:
     """Solve the square system ``A x = rhs`` with CALU.
 
@@ -85,7 +86,10 @@ def solve(
     escalates to iterative refinement automatically, and a
     :class:`~repro.resilience.health.NumericalHealthWarning` reports
     the achieved residual if refinement still cannot reach it.  With
-    ``report=True`` returns ``(x, SolveReport)``.
+    ``report=True`` returns ``(x, SolveReport)``.  *checkpoint* (a
+    :class:`~repro.resilience.checkpoint.Checkpoint`) is forwarded to
+    :func:`~repro.core.calu.calu`, arming panel-granularity
+    checkpoint/restart for the factorization.
     """
     from repro.core.autotune import recommend_params
 
@@ -95,7 +99,7 @@ def solve(
     rhs = np.asarray(validate_rhs(rhs, A.shape[0], "rhs"), dtype=float)
     rec = recommend_params(A.shape[0], A.shape[1], cores=cores, kind="lu")
     f = calu(A, b=b if b is not None else rec.b, tr=tr if tr is not None else rec.tr,
-             tree=tree if tree is not None else rec.tree)
+             tree=tree if tree is not None else rec.tree, checkpoint=checkpoint)
     x = f.solve(rhs)
     rep = SolveReport(degraded_panels=f.degraded_panels)
     if refine > 0:

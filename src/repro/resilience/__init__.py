@@ -23,8 +23,31 @@ hardware actually produces:
 ``repro.resilience.events``
     The :class:`~repro.resilience.events.ResilienceEvent` record type
     every mechanism reports through.
+
+``repro.resilience.checkpoint`` / ``repro.resilience.journal``
+    Panel-granularity checkpoint/restart: pluggable snapshot stores
+    (:class:`~repro.resilience.checkpoint.MemoryStore`,
+    :class:`~repro.resilience.checkpoint.FileStore`), the
+    :class:`~repro.resilience.checkpoint.Checkpoint` snapshot manager
+    and the write-ahead
+    :class:`~repro.resilience.journal.TaskJournal` the executors
+    consult to skip completed tasks on resume.
+
+``repro.resilience.abft``
+    Huang-Abraham checksums for the trailing update: single-element
+    corruption is detected and repaired in place.
 """
 
+from repro.resilience.abft import gemm_abft_guard, gemm_checksums, verify_and_correct
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    FileStore,
+    MemoryStore,
+    pack_arrays,
+    restore_matrix,
+    unpack_arrays,
+)
 from repro.resilience.events import ResilienceEvent
 from repro.resilience.faults import FaultPlan, InjectedFault
 from repro.resilience.health import (
@@ -34,17 +57,29 @@ from repro.resilience.health import (
     validate_matrix,
     validate_rhs,
 )
+from repro.resilience.journal import TaskJournal
 from repro.resilience.recovery import RetryPolicy, RuntimeFailure
 
 __all__ = [
     "DEFAULT_GROWTH_LIMIT",
+    "Checkpoint",
+    "CheckpointStore",
     "FaultPlan",
+    "FileStore",
     "InjectedFault",
+    "MemoryStore",
     "NumericalHealthWarning",
     "ResilienceEvent",
     "RetryPolicy",
     "RuntimeFailure",
+    "TaskJournal",
     "finite_block_guard",
+    "gemm_abft_guard",
+    "gemm_checksums",
+    "pack_arrays",
+    "restore_matrix",
+    "unpack_arrays",
     "validate_matrix",
     "validate_rhs",
+    "verify_and_correct",
 ]

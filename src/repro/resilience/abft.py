@@ -1,0 +1,140 @@
+"""Algorithm-based fault tolerance for the trailing update.
+
+Huang-Abraham style checksums on the blocks the CALU ``S`` tasks
+update.  The Schur update ``C <- C - L U`` preserves linear checksums:
+
+* expected row sums:    ``(C - L U) 1 = C 1 - L (U 1)``
+* expected column sums: ``1^T (C - L U) = 1^T C - (1^T L) U``
+
+Both right-hand sides are computed from the *inputs*, before the gemm
+runs, at a cost of a handful of matrix-vector products — negligible
+against the ``O(m n k)`` update itself.  After the update (and after
+any fault-injection corruption hook has fired) the guard recomputes the
+actual sums; a single inconsistent (row, column) pair localizes a
+corrupted element, which is corrected *in place* from its row sum:
+
+``C[i, j] = expected_row[i] - sum(C[i, :] except j)``
+
+and re-verified against the column checksum.  Multi-element corruption
+is not correctable this way and escalates to a fatal health verdict —
+the next rung of the recovery ladder (panel-checkpoint restore) takes
+over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resilience.events import ResilienceEvent
+
+__all__ = ["gemm_checksums", "verify_and_correct", "gemm_abft_guard"]
+
+#: Relative tolerance of the checksum comparison, scaled by the input
+#: magnitudes and the summation length.  Loose enough that accumulated
+#: roundoff never raises a false alarm; a corrupted element large
+#: enough to matter numerically is far above it.
+DEFAULT_RTOL = 1e-8
+
+
+def gemm_checksums(C: np.ndarray, L: np.ndarray, U: np.ndarray) -> dict:
+    """Expected row/column sums of ``C - L @ U``, plus the error scale.
+
+    Called on the *pre-update* operands; the result feeds
+    :func:`verify_and_correct` after the gemm ran.
+    """
+    ones_n = np.ones(C.shape[1])
+    ones_m = np.ones(C.shape[0])
+    row = C @ ones_n - L @ (U @ ones_n)
+    col = ones_m @ C - (ones_m @ L) @ U
+    k = L.shape[1] if L.ndim == 2 else 1
+    scale = float(np.abs(C).max(initial=0.0)) + float(
+        np.abs(L).max(initial=0.0) * np.abs(U).max(initial=0.0) * max(k, 1)
+    )
+    return {"row": row, "col": col, "scale": scale}
+
+
+def verify_and_correct(
+    C: np.ndarray,
+    checksums: dict,
+    *,
+    name: str = "",
+    tid: int = -1,
+    rtol: float = DEFAULT_RTOL,
+) -> ResilienceEvent | None:
+    """Check *C* against its checksums; correct a single bad element.
+
+    Returns None when the block verifies, an ``abft_correct`` event
+    when one element was repaired (and the repair re-verifies), or a
+    fatal ``health`` event when the corruption is not correctable.
+    """
+    row_exp, col_exp, scale = checksums["row"], checksums["col"], checksums["scale"]
+    n_terms = max(C.shape[0], C.shape[1], 1)
+    tol = rtol * max(1.0, scale) * np.sqrt(n_terms)
+    row = C.sum(axis=1)
+    col = C.sum(axis=0)
+    # NaN-safe mismatch test: comparisons with NaN are False, so take
+    # the complement of "close" rather than "far".
+    bad_rows = np.flatnonzero(~(np.abs(row - row_exp) <= tol))
+    bad_cols = np.flatnonzero(~(np.abs(col - col_exp) <= tol))
+    if bad_rows.size == 0 and bad_cols.size == 0:
+        return None
+    if bad_rows.size == 1 and bad_cols.size == 1:
+        i, j = int(bad_rows[0]), int(bad_cols[0])
+        old = float(C[i, j])
+        # Sum the row *around* the suspect element: subtracting C[i, j]
+        # from the full row sum would poison ``rest`` with the very NaN
+        # being repaired.
+        rest = C[i, :j].sum() + C[i, j + 1 :].sum()
+        if not np.isfinite(rest):
+            return ResilienceEvent(
+                "health",
+                task=name,
+                tid=tid,
+                detail=f"ABFT: row {i} contains further non-finite values",
+                fatal=True,
+            )
+        fixed = float(row_exp[i] - rest)
+        C[i, j] = fixed
+        # The repair must square with the *column* checksum too —
+        # otherwise the single-element hypothesis was wrong.
+        if abs(C[:, j].sum() - col_exp[j]) <= tol:
+            return ResilienceEvent(
+                "abft_correct",
+                task=name,
+                tid=tid,
+                detail=(
+                    f"ABFT corrected element ({i}, {j}): {old!r} -> {fixed!r} "
+                    "(single-element checksum repair)"
+                ),
+                value=fixed,
+            )
+        C[i, j] = old
+    return ResilienceEvent(
+        "health",
+        task=name,
+        tid=tid,
+        detail=(
+            f"ABFT checksum mismatch not correctable "
+            f"({bad_rows.size} rows, {bad_cols.size} cols inconsistent)"
+        ),
+        fatal=True,
+    )
+
+
+def gemm_abft_guard(A: np.ndarray, r0: int, r1: int, j0: int, j1: int, cell: list, name: str, tid: int = -1):
+    """Health-guard closure verifying the block an S task updated.
+
+    *cell* is a one-element list the task closure fills with
+    :func:`gemm_checksums` output before running the gemm; the guard
+    (which executors run after the fault plan's corruption step)
+    verifies and, when possible, repairs the block in place.
+    """
+
+    def guard() -> ResilienceEvent | None:
+        checksums = cell[0]
+        if checksums is None:
+            return None
+        cell[0] = None
+        return verify_and_correct(A[r0:r1, j0:j1], checksums, name=name, tid=tid)
+
+    return guard

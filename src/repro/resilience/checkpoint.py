@@ -1,0 +1,451 @@
+"""Panel-granularity checkpointing for CALU/CAQR.
+
+A long factorization that dies past panel 40 of 64 should not restart
+from scratch.  The block algorithms have a natural recovery unit — the
+panel iteration boundary — and at each boundary the matrix state
+decomposes into pieces that are *final* (the factored panel columns,
+the ``U`` block rows) plus one piece that is still live (the trailing
+matrix).  A :class:`Checkpoint` therefore persists, per boundary ``K``:
+
+* ``cols`` — the panel columns factored since the previous snapshot
+  (full height; final until the terminal left-swap task, which always
+  re-runs on resume);
+* ``urows`` — the corresponding ``U`` block rows right of the panel
+  (final once iteration ``K`` completes);
+* ``trailing`` — the live trailing matrix ``A[k1:, c1:]``, stored
+  *latest-only* (plus one predecessor for the recovery ladder) with a
+  CRC32 digest so torn writes are detected;
+* caller-supplied extras (pivot sequences, implicit-Q factors).
+
+Snapshots chain backwards via a ``prev`` pointer, so restoring composes
+all surviving ``cols``/``urows`` deltas with the newest verified
+trailing snapshot — reproducing the exact bytes the matrix held at the
+boundary.  Every remaining kernel is deterministic on those bytes, so a
+resumed run yields **bitwise-identical** factors to an uninterrupted
+one.
+
+Stores are pluggable: :class:`MemoryStore` for tests and overhead-free
+in-process restarts, :class:`FileStore` (atomic-rename writes,
+digest-verified payloads) for real runs that must survive ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import tempfile
+import threading
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "CheckpointStore",
+    "MemoryStore",
+    "FileStore",
+    "Checkpoint",
+    "pack_arrays",
+    "unpack_arrays",
+    "restore_matrix",
+]
+
+_MAGIC = b"RPCK1\n"
+
+
+def pack_arrays(arrays: dict) -> bytes:
+    """Serialize named arrays to a self-verifying payload (CRC32-framed npz)."""
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    payload = buf.getvalue()
+    return _MAGIC + struct.pack("<I", zlib.crc32(payload)) + payload
+
+
+def unpack_arrays(data: bytes) -> dict | None:
+    """Inverse of :func:`pack_arrays`; None on any corruption (bad magic,
+    failed CRC, truncation) — callers treat that as "snapshot absent"."""
+    head = len(_MAGIC) + 4
+    if len(data) < head or not data.startswith(_MAGIC):
+        return None
+    (crc,) = struct.unpack("<I", data[len(_MAGIC) : head])
+    payload = data[head:]
+    if zlib.crc32(payload) != crc:
+        return None
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as z:
+            return {k: z[k] for k in z.files}
+    except Exception:
+        return None
+
+
+class CheckpointStore:
+    """Interface for checkpoint persistence.
+
+    Two kinds of data: *array payloads* (snapshots) keyed by
+    hierarchical string keys, and *append-only line logs* (the task
+    journal).  Implementations must make :meth:`save_arrays` atomic —
+    a reader never sees a half-written payload — and must tolerate a
+    process dying between any two calls.
+    """
+
+    def save_arrays(self, key: str, arrays: dict) -> None:
+        raise NotImplementedError
+
+    def load_arrays(self, key: str) -> dict | None:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> list[str]:
+        raise NotImplementedError
+
+    def append_line(self, key: str, line: str) -> None:
+        raise NotImplementedError
+
+    def read_lines(self, key: str) -> list[str]:
+        raise NotImplementedError
+
+    def clear(self, prefix: str = "") -> None:
+        """Delete every key (array and line) starting with *prefix*."""
+        for k in list(self.keys()):
+            if k.startswith(prefix):
+                self.delete(k)
+
+
+class MemoryStore(CheckpointStore):
+    """In-process store: array payloads are held as plain copies.
+
+    The default for tests and for guarding against in-process failures
+    (a ``RuntimeFailure`` mid-run) where serialization cost would only
+    distort the <5% overhead budget.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, dict] = {}
+        self._lines: dict[str, list[str]] = {}
+        self._lock = threading.Lock()
+
+    def save_arrays(self, key: str, arrays: dict) -> None:
+        copied = {k: np.array(v, copy=True) for k, v in arrays.items()}
+        with self._lock:
+            self._arrays[key] = copied
+
+    def load_arrays(self, key: str) -> dict | None:
+        with self._lock:
+            stored = self._arrays.get(key)
+            if stored is None:
+                return None
+            return {k: v.copy() for k, v in stored.items()}
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._arrays.pop(key, None)
+            self._lines.pop(key, None)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._arrays) | set(self._lines))
+
+    def append_line(self, key: str, line: str) -> None:
+        with self._lock:
+            self._lines.setdefault(key, []).append(line)
+
+    def read_lines(self, key: str) -> list[str]:
+        with self._lock:
+            return list(self._lines.get(key, []))
+
+
+class FileStore(CheckpointStore):
+    """Directory-backed store surviving process death.
+
+    Array payloads are written to a temp file and published with
+    ``os.replace`` (atomic rename), so a snapshot either exists
+    completely or not at all; the CRC32 frame additionally catches any
+    torn or bit-rotted payload on read.  Line logs are appended with a
+    flush per line — the page cache preserves them across a ``kill -9``
+    of the writer (pass ``fsync=True`` to also survive power loss).
+    """
+
+    def __init__(self, root: str | os.PathLike, fsync: bool = False) -> None:
+        self.root = os.fspath(root)
+        self.fsync = fsync
+        os.makedirs(self.root, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # Keys are hierarchical ("ckpt/panel/3"); flatten to one directory.
+    @staticmethod
+    def _enc(key: str) -> str:
+        return key.replace("/", "@")
+
+    @staticmethod
+    def _dec(name: str) -> str:
+        return name.replace("@", "/")
+
+    def _path(self, key: str, ext: str) -> str:
+        return os.path.join(self.root, self._enc(key) + ext)
+
+    def save_arrays(self, key: str, arrays: dict) -> None:
+        data = pack_arrays(arrays)
+        with self._lock:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(data)
+                    f.flush()
+                    if self.fsync:
+                        os.fsync(f.fileno())
+                os.replace(tmp, self._path(key, ".npc"))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def load_arrays(self, key: str) -> dict | None:
+        try:
+            with open(self._path(key, ".npc"), "rb") as f:
+                data = f.read()
+        except OSError:
+            return None
+        return unpack_arrays(data)
+
+    def delete(self, key: str) -> None:
+        for ext in (".npc", ".jsonl"):
+            try:
+                os.unlink(self._path(key, ext))
+            except OSError:
+                pass
+
+    def keys(self) -> list[str]:
+        out = set()
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        for name in names:
+            for ext in (".npc", ".jsonl"):
+                if name.endswith(ext):
+                    out.add(self._dec(name[: -len(ext)]))
+        return sorted(out)
+
+    def append_line(self, key: str, line: str) -> None:
+        with self._lock:
+            with open(self._path(key, ".jsonl"), "a", encoding="utf-8") as f:
+                f.write(line + "\n")
+                f.flush()
+                if self.fsync:
+                    os.fsync(f.fileno())
+
+    def read_lines(self, key: str) -> list[str]:
+        try:
+            with open(self._path(key, ".jsonl"), "r", encoding="utf-8") as f:
+                return f.read().splitlines()
+        except OSError:
+            return []
+
+
+def _digest(arr: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes())
+
+
+class Checkpoint:
+    """Panel-boundary snapshot manager over a :class:`CheckpointStore`.
+
+    Parameters
+    ----------
+    store:
+        Persistence backend (default: a fresh :class:`MemoryStore`).
+    key:
+        Namespace prefix, so several factorizations can share a store.
+    interval:
+        Snapshot every ``interval``-th panel boundary (1 = every
+        boundary).  Coarser intervals cost less but resume further back.
+    keep_trailing:
+        Trailing snapshots retained (newest-first); older ones are
+        deleted as the factorization advances.  Keeping 2 lets the
+        restore ladder fall back one boundary if the newest trailing
+        payload is corrupt.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore | None = None,
+        key: str = "ckpt",
+        interval: int = 1,
+        keep_trailing: int = 2,
+    ) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        if keep_trailing < 1:
+            raise ValueError(f"keep_trailing must be >= 1, got {keep_trailing}")
+        self.store = store if store is not None else MemoryStore()
+        self.key = key
+        self.interval = interval
+        self.keep_trailing = keep_trailing
+
+    # ------------------------------------------------------------------
+    # Keys and metadata
+    # ------------------------------------------------------------------
+    def _k(self, *parts) -> str:
+        return "/".join((self.key, *map(str, parts)))
+
+    def journal(self):
+        """The task journal living in this checkpoint's namespace."""
+        from repro.resilience.journal import TaskJournal
+
+        return TaskJournal(self.store, key=self._k("journal"))
+
+    def clear(self) -> None:
+        """Drop every snapshot and journal entry in this namespace."""
+        self.store.clear(self.key + "/")
+
+    def prepare(self, signature: dict) -> bool:
+        """Bind this namespace to one computation.
+
+        *signature* identifies the factorization (algorithm, shape,
+        blocking, an input digest).  A stored signature that does not
+        match means the namespace holds snapshots of a *different*
+        computation: everything is cleared and the run starts fresh.
+        Returns True when existing snapshots remain usable.
+        """
+        lines = self.store.read_lines(self._k("meta"))
+        stored = None
+        if lines:
+            try:
+                stored = json.loads(lines[0])
+            except ValueError:
+                stored = None
+        if stored == signature:
+            return True
+        self.clear()
+        self.store.append_line(self._k("meta"), json.dumps(signature, sort_keys=True))
+        return False
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def should_snapshot(self, K: int) -> bool:
+        return (K + 1) % self.interval == 0
+
+    def prev_boundary(self, K: int) -> int:
+        """The snapshot boundary preceding *K* (-1 when K is the first)."""
+        return K - self.interval
+
+    def save_snapshot(
+        self,
+        K: int,
+        *,
+        cols: np.ndarray,
+        urows: np.ndarray,
+        trailing: np.ndarray,
+        extra: dict | None = None,
+    ) -> None:
+        """Persist the boundary-*K* snapshot (delta + latest trailing)."""
+        arrays = {
+            "cols": cols,
+            "urows": urows,
+            "prev": np.int64(self.prev_boundary(K)),
+        }
+        if extra:
+            arrays.update(extra)
+        self.store.save_arrays(self._k("panel", K), arrays)
+        self.store.save_arrays(
+            self._k("trailing", K),
+            {"trailing": trailing, "digest": np.uint32(_digest(trailing))},
+        )
+        self._prune_trailing(K)
+
+    def _trailing_ks(self) -> list[int]:
+        prefix = self._k("trailing") + "/"
+        out = []
+        for k in self.store.keys():
+            if k.startswith(prefix):
+                try:
+                    out.append(int(k[len(prefix) :]))
+                except ValueError:
+                    continue
+        return sorted(out)
+
+    def _prune_trailing(self, K: int) -> None:
+        ks = [k for k in self._trailing_ks() if k <= K]
+        for old in ks[: -self.keep_trailing]:
+            self.store.delete(self._k("trailing", old))
+
+    def load_snapshot(self, K: int) -> dict | None:
+        return self.store.load_arrays(self._k("panel", K))
+
+    def load_trailing(self, K: int) -> np.ndarray | None:
+        """The boundary-*K* trailing matrix, or None if absent/corrupt."""
+        data = self.store.load_arrays(self._k("trailing", K))
+        if data is None or "trailing" not in data or "digest" not in data:
+            return None
+        trailing = data["trailing"]
+        if _digest(trailing) != int(data["digest"]):
+            return None
+        return trailing
+
+    def snapshot_chain(self) -> list[int]:
+        """Boundaries of the newest fully-restorable chain, ascending.
+
+        Walks candidate trailing snapshots newest-first; for each,
+        follows the ``prev`` pointers back to the beginning, requiring
+        every delta payload (and the trailing digest) to verify.  An
+        empty list means no usable checkpoint — start from scratch.
+        """
+        for K in reversed(self._trailing_ks()):
+            if self.load_trailing(K) is None:
+                continue
+            chain: list[int] = []
+            k = K
+            ok = True
+            while k >= 0:
+                snap = self.load_snapshot(k)
+                if snap is None or "prev" not in snap:
+                    ok = False
+                    break
+                chain.append(k)
+                k = int(snap["prev"])
+            if ok:
+                return chain[::-1]
+        return []
+
+
+def restore_matrix(A: np.ndarray, layout, ckpt: Checkpoint) -> tuple[int, dict]:
+    """Rebuild *A* to its newest checkpointed panel boundary, in place.
+
+    *layout* is the factorization's block layout (``b``, ``m``, ``n``,
+    ``panel_width``).  Composes the chain's ``cols``/``urows`` deltas
+    and the final trailing snapshot; because every byte comes from
+    snapshots taken at the boundary, the restored matrix is bitwise
+    equal to the state an uninterrupted run held there.
+
+    Returns ``(K, snapshots_by_boundary)`` — ``K`` is the restored
+    boundary (-1 when nothing restorable; *A* is then untouched).
+    """
+    chain = ckpt.snapshot_chain()
+    if not chain:
+        return -1, {}
+    # Load and verify everything before touching A: a payload going bad
+    # between snapshot_chain() and here must not leave A half-restored.
+    snaps: dict[int, dict] = {}
+    for K in chain:
+        snap = ckpt.load_snapshot(K)
+        if snap is None:
+            return -1, {}
+        snaps[K] = snap
+    trailing = ckpt.load_trailing(chain[-1])
+    if trailing is None:
+        return -1, {}
+    n, m = layout.n, layout.m
+    prev_c1 = 0
+    for K in chain:
+        snap = snaps[K]
+        c1 = K * layout.b + layout.panel_width(K)
+        A[:, prev_c1:c1] = snap["cols"]
+        A[prev_c1:c1, c1:n] = snap["urows"]
+        prev_c1 = c1
+    A[prev_c1:m, prev_c1:n] = trailing
+    return chain[-1], snaps

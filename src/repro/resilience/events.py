@@ -30,6 +30,16 @@ __all__ = ["ResilienceEvent", "EVENT_KINDS"]
 #:     A solver escalated to (additional) iterative refinement.
 #: ``comm_drop`` / ``comm_corrupt``
 #:     A message fault detected and repaired by retransmission.
+#: ``abft_correct``
+#:     An ABFT checksum repaired a corrupted element in place.
+#: ``recompute``
+#:     A corrupted reduction subtree was recomputed from clean data
+#:     (e.g. a TSLU tournament replayed from the untouched panel).
+#: ``checkpoint`` / ``resume``
+#:     A panel snapshot was written / a run restarted from one,
+#:     skipping journaled tasks.
+#: ``rank_loss``
+#:     A distributed participant died; survivors recomputed its share.
 #: ``health``
 #:     A numerical health guard fired (NaN/Inf block, pivot growth).
 #: ``timeout`` / ``stall`` / ``deadlock`` / ``worker_death``
@@ -43,6 +53,11 @@ EVENT_KINDS = (
     "refine",
     "comm_drop",
     "comm_corrupt",
+    "abft_correct",
+    "recompute",
+    "checkpoint",
+    "resume",
+    "rank_loss",
     "health",
     "timeout",
     "stall",
@@ -88,3 +103,15 @@ class ResilienceEvent:
             "value": self.value,
             "fatal": self.fatal,
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ResilienceEvent":
+        """Inverse of :meth:`to_dict` (trace JSON round-trips)."""
+        return cls(
+            kind=d["kind"],
+            task=d.get("task", ""),
+            tid=int(d.get("tid", -1)),
+            detail=d.get("detail", ""),
+            value=d.get("value"),
+            fatal=bool(d.get("fatal", False)),
+        )

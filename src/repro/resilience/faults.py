@@ -57,6 +57,16 @@ class InjectedFault(RuntimeError):
         self.tid = tid
         self.pre_execution = pre_execution
 
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*self.args)`` with
+        # only the message, losing task/tid/pre_execution; restore them
+        # as state.
+        message = self.args[0] if self.args else ""
+        return (self.__class__, (message,), self.__dict__.copy())
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
 
 class FaultPlan:
     """Seeded per-task-kind fault schedule.

@@ -1,0 +1,130 @@
+"""Write-ahead task journal for the executors.
+
+A :class:`TaskJournal` records every completed task (name + id) as one
+JSON line in a :class:`~repro.resilience.checkpoint.CheckpointStore`.
+On a restarted run, ``executor.run(graph, journal=journal)`` skips the
+journaled tasks — their effects are already present (recomputed into
+the matrix by the checkpoint restore, or still live in process memory)
+— and resumes scheduling from the surviving frontier.
+
+The journal is deliberately forgiving on load: a truncated or corrupt
+tail (the writer was killed mid-append) silently ends the log at the
+last intact line, and a header that does not match the graph being run
+resets the journal — both cases degrade to "start fresh", never to a
+crash or to skipping work that was not actually done.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.resilience.checkpoint import CheckpointStore, MemoryStore
+
+__all__ = ["TaskJournal"]
+
+
+class TaskJournal:
+    """Completed-task log over a pluggable checkpoint store.
+
+    Parameters
+    ----------
+    store:
+        Persistence backend (default: in-memory).
+    key:
+        The store key of the journal's line log.
+    """
+
+    def __init__(self, store: CheckpointStore | None = None, key: str = "journal") -> None:
+        self.store = store if store is not None else MemoryStore()
+        self.key = key
+        self._lock = threading.Lock()
+        self._header: dict | None = None
+        self._completed: set[str] = set()
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading and graph binding
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            lines = self.store.read_lines(self.key)
+        except Exception:
+            lines = []
+        header: dict | None = None
+        completed: set[str] = set()
+        for line in lines:
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                break  # torn tail from a killed writer: stop here
+            if not isinstance(obj, dict):
+                break
+            if "header" in obj:
+                header = obj["header"]
+            elif "task" in obj:
+                completed.add(obj["task"])
+            else:
+                break
+        self._header = header
+        self._completed = completed
+
+    @staticmethod
+    def _signature(graph) -> dict:
+        return {"graph": graph.name, "n_tasks": len(graph.tasks)}
+
+    def bind(self, graph) -> set[str]:
+        """Attach the journal to *graph*; returns the completed names.
+
+        A journal written for a different graph (mismatched header) is
+        reset — its entries describe other tasks and must not cause
+        skips.  Entries naming tasks the graph does not contain are
+        ignored for the same reason.
+        """
+        sig = self._signature(graph)
+        with self._lock:
+            if self._header is not None and self._header != sig:
+                self._reset_locked()
+            if self._header is None:
+                self.store.append_line(self.key, json.dumps({"header": sig}, sort_keys=True))
+                self._header = sig
+            names = {t.name for t in graph.tasks}
+            return self._completed & names
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> frozenset:
+        with self._lock:
+            return frozenset(self._completed)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._completed)
+
+    def record(self, task) -> None:
+        """Journal one completed task (called by executors post-guards)."""
+        self.record_name(task.name, getattr(task, "tid", -1))
+
+    def record_name(self, name: str, tid: int = -1) -> None:
+        with self._lock:
+            if name in self._completed:
+                return
+            self.store.append_line(self.key, json.dumps({"task": name, "tid": tid}))
+            self._completed.add(name)
+
+    def mark_completed(self, names) -> None:
+        """Bulk-journal *names* (checkpoint restore seeds the skip set)."""
+        for name in names:
+            self.record_name(name)
+
+    def _reset_locked(self) -> None:
+        self.store.delete(self.key)
+        self._header = None
+        self._completed = set()
+
+    def reset(self) -> None:
+        """Discard all entries (and the header)."""
+        with self._lock:
+            self._reset_locked()

@@ -65,6 +65,17 @@ class RuntimeFailure(RuntimeError):
         self.failure_kind = failure_kind
         self.trace = trace
 
+    def __reduce__(self):
+        # The keyword-only constructor breaks the default exception
+        # pickling (which replays ``cls(*self.args)`` and drops the
+        # attributes); rebuild from the message and restore the rest as
+        # state so the failure survives pickle/multiprocessing intact.
+        message = self.args[0] if self.args else ""
+        return (self.__class__, (message,), self.__dict__.copy())
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def summary(self) -> str:
         """One-line diagnosis including partial-progress statistics."""
         parts = [f"{self.failure_kind}: {self.args[0]}"]

@@ -101,22 +101,43 @@ class SimulatedExecutor:
         self.retry = retry
         self.health_checks = health_checks
 
-    def run(self, graph: TaskGraph) -> Trace:
+    def run(self, graph: TaskGraph, journal=None) -> Trace:
         mach = self.machine
         n = len(graph.tasks)
         indeg = graph.indegrees()
         ready = ReadyQueue(self.policy)
+
+        skipped: set[int] = set()
+        if journal is not None:
+            done_names = journal.bind(graph)
+            if done_names:
+                skipped = {t.tid for t in graph.tasks if t.name in done_names}
+        events: list[ResilienceEvent] = []
+        if skipped:
+            events.append(
+                ResilienceEvent(
+                    "resume",
+                    detail=(
+                        f"resumed from journal: skipping {len(skipped)}/{n} "
+                        "completed tasks"
+                    ),
+                    value=float(len(skipped)),
+                )
+            )
+            for tid in graph.topological_order():
+                if tid in skipped:
+                    for s in graph.succs[tid]:
+                        indeg[s] -= 1
         for t, d in enumerate(indeg):
-            if d == 0:
+            if d == 0 and t not in skipped:
                 ready.push(graph.tasks[t])
 
         free_cores = list(range(mach.cores - 1, -1, -1))  # pop() yields core 0 first
         running: list[_Running] = []
         ran_on: dict[int, int] = {}
         records: list[TaskRecord] = []
-        events: list[ResilienceEvent] = []
         clock = 0.0
-        completed = 0
+        completed = len(skipped)
         sync_lat = mach.sync_latency_us * 1e-6
         plan = self.fault_plan
 
@@ -173,7 +194,20 @@ class SimulatedExecutor:
                 TaskRecord(r.task.tid, r.task.name, r.task.kind, r.core, r.start, clock)
             )
             if self.execute and r.task.fn is not None:
-                r.task.fn()
+                try:
+                    r.task.fn()
+                except RuntimeFailure:
+                    raise
+                except Exception as exc:
+                    failure = RuntimeFailure(
+                        f"task {r.task.name!r} failed: {exc}",
+                        task=r.task.name,
+                        tid=r.task.tid,
+                        failure_kind="task_error",
+                        trace=Trace(list(records), mach.cores, list(events)),
+                    )
+                    failure.__cause__ = exc
+                    raise failure from exc
             if r.corrupt and plan is not None and self.execute:
                 plan.apply_corruption(r.task, record=record_event)
             guard = (
@@ -194,9 +228,11 @@ class SimulatedExecutor:
                             failure_kind="health",
                             trace=Trace(list(records), mach.cores, list(events)),
                         )
+            if journal is not None:
+                journal.record(r.task)
             for s in graph.succs[r.task.tid]:
                 indeg[s] -= 1
-                if indeg[s] == 0:
+                if indeg[s] == 0 and s not in skipped:
                     ready.push(graph.tasks[s])
             free_cores.append(r.core)
             completed += 1

@@ -21,6 +21,9 @@ import time
 from collections import deque
 
 from repro.counters import add_sync
+from repro.resilience.events import ResilienceEvent
+from repro.resilience.faults import InjectedFault
+from repro.resilience.recovery import RuntimeFailure
 from repro.runtime.graph import TaskGraph
 from repro.runtime.task import Task
 from repro.runtime.trace import TaskRecord, Trace
@@ -45,7 +48,7 @@ class WorkStealingExecutor:
         self.n_workers = n_workers
         self.seed = seed
 
-    def run(self, graph: TaskGraph) -> Trace:
+    def run(self, graph: TaskGraph, journal=None) -> Trace:
         n = len(graph.tasks)
         indeg = graph.indegrees()
         deques: list[deque[Task]] = [deque() for _ in range(self.n_workers)]
@@ -54,12 +57,35 @@ class WorkStealingExecutor:
         remaining = n
         errors: list[BaseException] = []
         records: list[TaskRecord] = []
+        events: list[ResilienceEvent] = []
         t0 = time.perf_counter()
+
+        skipped: set[int] = set()
+        if journal is not None:
+            done_names = journal.bind(graph)
+            if done_names:
+                skipped = {t.tid for t in graph.tasks if t.name in done_names}
+        if skipped:
+            events.append(
+                ResilienceEvent(
+                    "resume",
+                    detail=(
+                        f"resumed from journal: skipping {len(skipped)}/{n} "
+                        "completed tasks"
+                    ),
+                    value=float(len(skipped)),
+                )
+            )
+            remaining = n - len(skipped)
+            for tid in graph.topological_order():
+                if tid in skipped:
+                    for s in graph.succs[tid]:
+                        indeg[s] -= 1
 
         # Seed: distribute the initial ready set round-robin, highest
         # priority first so every worker starts near the critical path.
         roots = sorted(
-            (t for t, d in enumerate(indeg) if d == 0),
+            (t for t, d in enumerate(indeg) if d == 0 and t not in skipped),
             key=lambda t: -graph.tasks[t].priority,
         )
         for i, t in enumerate(roots):
@@ -94,18 +120,47 @@ class WorkStealingExecutor:
                     if task.fn is not None:
                         task.fn()
                 except BaseException as exc:  # noqa: BLE001 - propagate
+                    if not isinstance(exc, RuntimeFailure):
+                        kind = "injected" if isinstance(exc, InjectedFault) else "task_error"
+                        with lock:
+                            partial = Trace(list(records), self.n_workers, list(events))
+                        wrapped = RuntimeFailure(
+                            f"task {task.name!r} failed: {exc}",
+                            task=task.name,
+                            tid=task.tid,
+                            failure_kind=kind,
+                            trace=partial,
+                        )
+                        wrapped.__cause__ = exc
+                        exc = wrapped
                     with work_available:
                         errors.append(exc)
                         remaining -= 1
                         work_available.notify_all()
                     return
                 end = time.perf_counter() - t0
+                if journal is not None:
+                    try:
+                        journal.record(task)
+                    except Exception as exc:
+                        with work_available:
+                            errors.append(
+                                RuntimeFailure(
+                                    f"journal write failed after task {task.name!r}: {exc}",
+                                    task=task.name,
+                                    tid=task.tid,
+                                    failure_kind="task_error",
+                                )
+                            )
+                            remaining -= 1
+                            work_available.notify_all()
+                        return
                 with work_available:
                     records.append(TaskRecord(task.tid, task.name, task.kind, core, start, end))
                     released = []
                     for s in graph.succs[task.tid]:
                         indeg[s] -= 1
-                        if indeg[s] == 0:
+                        if indeg[s] == 0 and s not in skipped:
                             released.append(graph.tasks[s])
                     # Locality: freshly released tasks go to my deque,
                     # highest priority last so my LIFO pop sees it first.
@@ -124,4 +179,4 @@ class WorkStealingExecutor:
             th.join()
         if errors:
             raise errors[0]
-        return Trace(records, self.n_workers)
+        return Trace(records, self.n_workers, events)

@@ -24,10 +24,17 @@ Resilience layer (see :mod:`repro.resilience`):
 * tasks carrying a ``meta["health"]`` guard are checked after they run
   (NaN/Inf and pivot-growth monitors attached by the CALU/CAQR
   builders); a fatal guard verdict aborts the run instead of letting a
-  corrupted factorization escape.
+  corrupted factorization escape;
+* ``run(graph, journal=TaskJournal(...))`` arms the write-ahead task
+  journal: completed tasks are logged (post-guards), and tasks the
+  journal already holds are skipped — the resume half of the
+  checkpoint/restart path (see :mod:`repro.resilience.checkpoint`).
 
-With none of these configured the executor behaves exactly as before:
-the first task exception is re-raised verbatim.
+Every task error is wrapped in a structured
+:class:`~repro.resilience.recovery.RuntimeFailure` (with
+``failure_kind="task_error"`` and the partial trace), whether or not
+any resilience option is configured — callers always get one failure
+type to handle.
 """
 
 from __future__ import annotations
@@ -95,24 +102,19 @@ class ThreadedExecutor:
         self.health_checks = health_checks
         self.watchdog_poll_s = watchdog_poll_s
 
-    @property
-    def _resilient(self) -> bool:
-        """Whether the resilience layer is active (failures get wrapped)."""
-        return (
-            self.retry is not None
-            or self.fault_plan is not None
-            or self.task_timeout is not None
-            or self.stall_timeout is not None
-        )
-
-    def run(self, graph: TaskGraph) -> Trace:
+    def run(self, graph: TaskGraph, journal=None) -> Trace:
         """Run every task; returns the execution :class:`Trace`.
 
-        Without resilience options, raises the first exception any task
-        raised, after all workers have stopped.  With them, failures
-        are wrapped in a :class:`RuntimeFailure` carrying the partial
-        trace; the watchdog additionally converts hangs into structured
-        timeout/stall/deadlock failures instead of blocking forever.
+        Task failures are wrapped in a :class:`RuntimeFailure` carrying
+        the partial trace; the watchdog (when armed) additionally
+        converts hangs into structured timeout/stall/deadlock failures
+        instead of blocking forever.
+
+        With *journal* (a
+        :class:`~repro.resilience.journal.TaskJournal`), tasks the
+        journal already records as completed are skipped up front, and
+        every task that completes (and passes its health guard) is
+        journaled before its successors are released.
         """
         n = len(graph.tasks)
         indeg = graph.indegrees()
@@ -131,8 +133,27 @@ class ThreadedExecutor:
         plan = self.fault_plan
         t0 = time.perf_counter()
 
+        skipped: set[int] = set()
+        if journal is not None:
+            done_names = journal.bind(graph)
+            if done_names:
+                skipped = {t.tid for t in graph.tasks if t.name in done_names}
+        if skipped:
+            events.append(
+                ResilienceEvent(
+                    "resume",
+                    detail=f"resumed from journal: skipping {len(skipped)}/{n} completed tasks",
+                    value=float(len(skipped)),
+                )
+            )
+            remaining = n - len(skipped)
+            for tid in graph.topological_order():
+                if tid in skipped:
+                    for s in graph.succs[tid]:
+                        indeg[s] -= 1
+
         for t, d in enumerate(indeg):
-            if d == 0:
+            if d == 0 and t not in skipped:
                 ready.push(graph.tasks[t])
 
         def record_event(ev: ResilienceEvent) -> None:
@@ -190,7 +211,7 @@ class ThreadedExecutor:
                             time.sleep(retry.delay(attempt))
                             attempt += 1
                             continue
-                        if self._resilient and not isinstance(exc, RuntimeFailure):
+                        if not isinstance(exc, RuntimeFailure):
                             kind = "injected" if isinstance(exc, InjectedFault) else "task_error"
                             failure = RuntimeFailure(
                                 f"task {task.name!r} failed after {attempt + 1} attempt(s): {exc}",
@@ -218,6 +239,26 @@ class ThreadedExecutor:
                         record_event(verdict)
                         if verdict.fatal:
                             fatal_event = verdict
+                # Write-ahead journal entry: only after the guards pass,
+                # so a resumed run never skips a task whose output was
+                # found corrupted.  Outside the lock (may hit disk).
+                if fatal_event is None and journal is not None:
+                    try:
+                        journal.record(task)
+                    except Exception as exc:
+                        with work_available:
+                            running.pop(core, None)
+                            errors.append(
+                                RuntimeFailure(
+                                    f"journal write failed after task {task.name!r}: {exc}",
+                                    task=task.name,
+                                    tid=task.tid,
+                                    failure_kind="task_error",
+                                )
+                            )
+                            remaining -= 1
+                            work_available.notify_all()
+                        return
                 with work_available:
                     running.pop(core, None)
                     progress[0] = time.monotonic()
@@ -238,7 +279,7 @@ class ThreadedExecutor:
                         return
                     for s in graph.succs[task.tid]:
                         indeg[s] -= 1
-                        if indeg[s] == 0:
+                        if indeg[s] == 0 and s not in skipped:
                             ready.push(graph.tasks[s])
                     remaining -= 1
                     work_available.notify_all()

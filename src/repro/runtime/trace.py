@@ -121,6 +121,10 @@ class Trace:
         start_of = {r.tid: r.start for r in self.records}
         for t in range(len(graph.tasks)):
             for p in graph.preds[t]:
+                # Tasks skipped on a journal resume have no record; the
+                # ordering constraint only applies when both ran.
+                if t not in start_of or p not in end_of:
+                    continue
                 if start_of[t] < end_of[p] - eps:
                     raise AssertionError(
                         f"task {graph.tasks[t].name!r} started before "
@@ -194,6 +198,34 @@ class Trace:
                 ],
             }
         )
+
+    @classmethod
+    def from_json(cls, data: str) -> "Trace":
+        """Inverse of :meth:`to_json`.
+
+        Rebuilds records (with :class:`~repro.runtime.task.TaskKind`
+        members) and resilience events, so diagnostics like
+        :meth:`resilience_summary` and :meth:`validate_schedule` work
+        on a deserialized trace exactly as on the original.
+        """
+        import json
+
+        from repro.resilience.events import ResilienceEvent
+
+        d = json.loads(data)
+        records = [
+            TaskRecord(
+                tid=int(r["tid"]),
+                name=r["name"],
+                kind=TaskKind(r["kind"]),
+                core=int(r["core"]),
+                start=float(r["start"]),
+                end=float(r["end"]),
+            )
+            for r in d.get("records", ())
+        ]
+        events = [ResilienceEvent.from_dict(ev) for ev in d.get("events", ())]
+        return cls(records, int(d["n_cores"]), events)
 
     def to_chrome_tracing(self, time_unit: float = 1e6) -> str:
         """Serialize to the Chrome tracing JSON format.

@@ -1,0 +1,392 @@
+"""Tests for the checkpoint/journal subsystem.
+
+Covers the serialization framing (CRC-verified payloads), both stores
+(in-memory and the crash-surviving file store), the snapshot chain and
+its corruption fallbacks, the write-ahead task journal (including torn
+tails from a killed writer), pickle round-trips of the structured
+failure types, and journal-aware resume on all three executors.
+"""
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.machine.presets import generic
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    FileStore,
+    MemoryStore,
+    pack_arrays,
+    restore_matrix,
+    unpack_arrays,
+)
+from repro.resilience.events import ResilienceEvent
+from repro.resilience.faults import InjectedFault
+from repro.resilience.journal import TaskJournal
+from repro.resilience.recovery import RuntimeFailure
+from repro.runtime.graph import TaskGraph
+from repro.runtime.simulated import SimulatedExecutor
+from repro.runtime.stealing import WorkStealingExecutor
+from repro.runtime.task import Cost, Task, TaskKind
+from repro.runtime.threaded import ThreadedExecutor
+
+
+def _mk(flops=1e5):
+    return Cost("gemm", 50, 50, 50, flops=flops)
+
+
+# ----------------------------------------------------------------------
+# Payload framing
+# ----------------------------------------------------------------------
+class TestPackArrays:
+    def test_round_trip(self):
+        arrays = {
+            "a": np.arange(12, dtype=float).reshape(3, 4),
+            "b": np.int64(7),
+            "c": np.array([1, 2, 3], dtype=np.int64),
+        }
+        out = unpack_arrays(pack_arrays(arrays))
+        assert out is not None
+        assert sorted(out) == ["a", "b", "c"]
+        assert np.array_equal(out["a"], arrays["a"])
+        assert int(out["b"]) == 7
+        assert np.array_equal(out["c"], arrays["c"])
+
+    def test_bad_magic_is_none(self):
+        data = pack_arrays({"a": np.ones(3)})
+        assert unpack_arrays(b"XXXX" + data[4:]) is None
+
+    def test_flipped_byte_is_none(self):
+        data = bytearray(pack_arrays({"a": np.ones(8)}))
+        data[-3] ^= 0xFF
+        assert unpack_arrays(bytes(data)) is None
+
+    def test_truncation_is_none(self):
+        data = pack_arrays({"a": np.ones(8)})
+        assert unpack_arrays(data[: len(data) // 2]) is None
+        assert unpack_arrays(b"") is None
+
+
+# ----------------------------------------------------------------------
+# Stores
+# ----------------------------------------------------------------------
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStore()
+    return FileStore(tmp_path / "ckpt")
+
+
+class TestStores:
+    def test_array_round_trip(self, store):
+        store.save_arrays("ckpt/panel/0", {"x": np.arange(6.0)})
+        out = store.load_arrays("ckpt/panel/0")
+        assert out is not None and np.array_equal(out["x"], np.arange(6.0))
+
+    def test_missing_key_is_none(self, store):
+        assert store.load_arrays("nope") is None
+
+    def test_saved_arrays_are_snapshots(self, store):
+        x = np.zeros(4)
+        store.save_arrays("k", {"x": x})
+        x[:] = 9.0
+        assert np.array_equal(store.load_arrays("k")["x"], np.zeros(4))
+
+    def test_keys_and_delete(self, store):
+        store.save_arrays("a/1", {"x": np.ones(1)})
+        store.save_arrays("a/2", {"x": np.ones(1)})
+        store.append_line("a/log", "hello")
+        assert store.keys() == ["a/1", "a/2", "a/log"]
+        store.delete("a/1")
+        assert "a/1" not in store.keys()
+        store.clear("a/")
+        assert store.keys() == []
+
+    def test_line_log(self, store):
+        assert store.read_lines("log") == []
+        store.append_line("log", "one")
+        store.append_line("log", "two")
+        assert store.read_lines("log") == ["one", "two"]
+
+
+class TestFileStore:
+    def test_survives_reopen(self, tmp_path):
+        FileStore(tmp_path / "s").save_arrays("ckpt/panel/3", {"x": np.arange(4.0)})
+        out = FileStore(tmp_path / "s").load_arrays("ckpt/panel/3")
+        assert out is not None and np.array_equal(out["x"], np.arange(4.0))
+
+    def test_truncated_payload_is_none(self, tmp_path):
+        fs = FileStore(tmp_path / "s")
+        fs.save_arrays("k", {"x": np.arange(64.0)})
+        path = fs._path("k", ".npc")
+        data = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(data[: len(data) // 2])
+        assert fs.load_arrays("k") is None
+
+    def test_no_tmp_litter(self, tmp_path):
+        fs = FileStore(tmp_path / "s")
+        for i in range(5):
+            fs.save_arrays(f"k{i}", {"x": np.ones(2)})
+        assert not [n for n in os.listdir(fs.root) if n.endswith(".tmp")]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint snapshot chain
+# ----------------------------------------------------------------------
+class _Layout:
+    """Minimal stand-in for the factorization block layout."""
+
+    def __init__(self, m, n, b):
+        self.m, self.n, self.b = m, n, b
+
+    def panel_width(self, K):
+        return min(self.b, self.n - K * self.b)
+
+
+def _fill_boundaries(ckpt, F, layout, boundaries):
+    """Snapshot matrix *F* at each boundary as the factorization would."""
+    for K in boundaries:
+        prevK = ckpt.prev_boundary(K)
+        c1 = K * layout.b + layout.panel_width(K)
+        prev_c1 = prevK * layout.b + layout.panel_width(prevK) if prevK >= 0 else 0
+        ckpt.save_snapshot(
+            K,
+            cols=F[:, prev_c1:c1],
+            urows=F[prev_c1:c1, c1 : layout.n],
+            trailing=F[c1 : layout.m, c1 : layout.n],
+        )
+
+
+class TestCheckpoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Checkpoint(interval=0)
+        with pytest.raises(ValueError):
+            Checkpoint(keep_trailing=0)
+
+    def test_should_snapshot_interval(self):
+        c = Checkpoint(interval=2)
+        assert [c.should_snapshot(K) for K in range(4)] == [False, True, False, True]
+        assert c.prev_boundary(3) == 1
+
+    def test_prepare_keeps_matching_signature(self):
+        c = Checkpoint()
+        sig = {"algo": "calu", "m": 8, "n": 8}
+        assert c.prepare(sig) is False  # nothing stored yet
+        c.save_snapshot(0, cols=np.ones((4, 2)), urows=np.ones((2, 2)), trailing=np.ones((2, 2)))
+        assert c.prepare(sig) is True
+        assert c.load_snapshot(0) is not None
+
+    def test_prepare_clears_on_mismatch(self):
+        c = Checkpoint()
+        c.prepare({"algo": "calu", "m": 8})
+        c.save_snapshot(0, cols=np.ones((4, 2)), urows=np.ones((2, 2)), trailing=np.ones((2, 2)))
+        assert c.prepare({"algo": "calu", "m": 16}) is False
+        assert c.load_snapshot(0) is None
+
+    def test_chain_and_restore(self):
+        layout = _Layout(12, 12, 4)
+        rng = np.random.default_rng(0)
+        F = rng.standard_normal((12, 12))
+        c = Checkpoint()
+        _fill_boundaries(c, F, layout, [0, 1, 2])
+        assert c.snapshot_chain() == [0, 1, 2]
+        A = np.zeros((12, 12))
+        K, snaps = restore_matrix(A, layout, c)
+        assert K == 2 and sorted(snaps) == [0, 1, 2]
+        assert np.array_equal(A, F)
+
+    def test_trailing_pruned_to_keep(self):
+        layout = _Layout(16, 16, 4)
+        F = np.arange(256.0).reshape(16, 16)
+        c = Checkpoint(keep_trailing=2)
+        _fill_boundaries(c, F, layout, [0, 1, 2, 3])
+        assert c._trailing_ks() == [2, 3]
+        # Delta payloads all survive: the chain still reaches back to 0.
+        assert c.snapshot_chain() == [0, 1, 2, 3]
+
+    def test_corrupt_newest_trailing_falls_back_one_boundary(self, tmp_path):
+        layout = _Layout(16, 16, 4)
+        F = np.arange(256.0).reshape(16, 16)
+        fs = FileStore(tmp_path / "s")
+        c = Checkpoint(fs, keep_trailing=2)
+        _fill_boundaries(c, F, layout, [0, 1, 2])
+        path = fs._path("ckpt/trailing/2", ".npc")
+        with open(path, "wb") as f:
+            f.write(b"garbage")
+        assert c.snapshot_chain() == [0, 1]
+        A = np.zeros((16, 16))
+        K, _ = restore_matrix(A, layout, c)
+        assert K == 1
+        c1 = 2 * 4  # boundary-1 frontier
+        assert np.array_equal(A[:, :c1], F[:, :c1])
+        assert np.array_equal(A[:c1, c1:], F[:c1, c1:])
+        assert np.array_equal(A[c1:, c1:], F[c1:, c1:])
+
+    def test_nothing_restorable_leaves_matrix_untouched(self):
+        layout = _Layout(8, 8, 4)
+        A = np.full((8, 8), 7.0)
+        K, snaps = restore_matrix(A, layout, Checkpoint())
+        assert K == -1 and snaps == {}
+        assert np.array_equal(A, np.full((8, 8), 7.0))
+
+
+# ----------------------------------------------------------------------
+# Task journal
+# ----------------------------------------------------------------------
+def _chain_graph(n=5, log=None, name="chain"):
+    g = TaskGraph(name)
+    prev = None
+    for i in range(n):
+        def fn(i=i):
+            if log is not None:
+                log.append(i)
+
+        prev = g.add(f"t{i}", TaskKind.S, _mk(), fn=fn, deps=[prev] if prev is not None else [])
+    return g
+
+
+class TestTaskJournal:
+    def test_record_and_reload(self, tmp_path):
+        fs = FileStore(tmp_path / "s")
+        j = TaskJournal(fs, key="jl")
+        j.bind(_chain_graph())
+        j.record_name("t0", 0)
+        j.record_name("t1", 1)
+        assert TaskJournal(fs, key="jl").bind(_chain_graph()) == {"t0", "t1"}
+
+    def test_torn_tail_stops_at_last_intact_line(self):
+        store = MemoryStore()
+        store.append_line("jl", json.dumps({"header": {"graph": "chain", "n_tasks": 5}}))
+        store.append_line("jl", json.dumps({"task": "t0", "tid": 0}))
+        store.append_line("jl", json.dumps({"task": "t1", "tid": 1}))
+        store.append_line("jl", '{"task": "t2", "ti')  # killed mid-append
+        store.append_line("jl", json.dumps({"task": "t3", "tid": 3}))
+        j = TaskJournal(store, key="jl")
+        assert j.bind(_chain_graph()) == {"t0", "t1"}
+
+    def test_header_mismatch_resets(self):
+        store = MemoryStore()
+        j = TaskJournal(store, key="jl")
+        j.bind(_chain_graph(5))
+        j.record_name("t0")
+        assert TaskJournal(store, key="jl").bind(_chain_graph(7, name="other")) == set()
+
+    def test_foreign_task_names_ignored(self):
+        j = TaskJournal()
+        j.bind(_chain_graph(5))
+        j.record_name("t1")
+        j.record_name("not-in-graph")
+        assert j.bind(_chain_graph(5)) == {"t1"}
+
+    def test_duplicate_records_collapse(self):
+        store = MemoryStore()
+        j = TaskJournal(store, key="jl")
+        j.record_name("t0")
+        j.record_name("t0")
+        assert len(store.read_lines("jl")) == 1 and len(j) == 1
+
+    def test_record_task_object(self):
+        j = TaskJournal()
+        j.record(Task(tid=3, name="t3", kind=TaskKind.S, cost=_mk()))
+        assert "t3" in j.completed
+
+    def test_reset(self):
+        j = TaskJournal()
+        j.bind(_chain_graph())
+        j.record_name("t0")
+        j.reset()
+        assert len(j) == 0 and j.bind(_chain_graph()) == set()
+
+    def test_checkpoint_namespaced_journal(self, tmp_path):
+        c = Checkpoint(FileStore(tmp_path / "s"), key="run1")
+        c.journal().record_name("t0")
+        assert "t0" in c.journal().completed
+        c.clear()
+        assert len(c.journal()) == 0
+
+
+# ----------------------------------------------------------------------
+# Pickle round-trips of the structured failure types
+# ----------------------------------------------------------------------
+class TestPickleRoundTrips:
+    def test_runtime_failure(self):
+        f = RuntimeFailure("boom", task="S[1,2,3]", tid=17, failure_kind="injected")
+        g = pickle.loads(pickle.dumps(f))
+        assert str(g) == "boom"
+        assert (g.task, g.tid, g.failure_kind) == ("S[1,2,3]", 17, "injected")
+        assert g.trace is None
+
+    def test_injected_fault(self):
+        f = InjectedFault("injected exception", task="P[0]", tid=3, pre_execution=False)
+        g = pickle.loads(pickle.dumps(f))
+        assert (g.task, g.tid, g.pre_execution) == ("P[0]", 3, False)
+
+    def test_resilience_event_dict_round_trip(self):
+        e = ResilienceEvent("abft_correct", task="S[0,1,1]", tid=9, detail="fixed", value=2.5)
+        assert ResilienceEvent.from_dict(e.to_dict()) == e
+        assert ResilienceEvent.from_dict(json.loads(json.dumps(e.to_dict()))) == e
+
+
+# ----------------------------------------------------------------------
+# Journal-aware resume on every executor
+# ----------------------------------------------------------------------
+def _executors():
+    return [
+        ("threaded", lambda: ThreadedExecutor(2)),
+        ("simulated", lambda: SimulatedExecutor(generic(2), execute=True)),
+        ("stealing", lambda: WorkStealingExecutor(2)),
+    ]
+
+
+@pytest.mark.parametrize("name,make", _executors(), ids=[n for n, _ in _executors()])
+class TestExecutorResume:
+    def test_full_journal_skips_everything(self, name, make):
+        journal = TaskJournal()
+        log: list[int] = []
+        make().run(_chain_graph(5, log), journal=journal)
+        assert log == [0, 1, 2, 3, 4]
+        assert len(journal) == 5
+
+        log2: list[int] = []
+        trace = make().run(_chain_graph(5, log2), journal=journal)
+        assert log2 == []
+        assert trace.records == []
+        assert trace.resilience_summary().get("resume") == 1
+        trace.validate_schedule(_chain_graph(5))
+
+    def test_partial_journal_runs_only_frontier(self, name, make):
+        journal = TaskJournal()
+        journal.bind(_chain_graph(5))
+        journal.mark_completed(["t0", "t1", "t2"])
+        log: list[int] = []
+        trace = make().run(_chain_graph(5, log), journal=journal)
+        assert log == [3, 4]
+        assert sorted(r.name for r in trace.records) == ["t3", "t4"]
+        assert journal.completed == frozenset({"t0", "t1", "t2", "t3", "t4"})
+        trace.validate_schedule(_chain_graph(5))
+
+    def test_journal_records_as_tasks_complete(self, name, make):
+        journal = TaskJournal()
+        make().run(_chain_graph(4), journal=journal)
+        assert journal.completed == frozenset({"t0", "t1", "t2", "t3"})
+
+    def test_diamond_skip_releases_successors(self, name, make):
+        def diamond(log):
+            g = TaskGraph("diamond")
+            a = g.add("a", TaskKind.P, _mk(), fn=lambda: log.append("a"))
+            l = g.add("l", TaskKind.L, _mk(), fn=lambda: log.append("l"), deps=[a])
+            u = g.add("u", TaskKind.U, _mk(), fn=lambda: log.append("u"), deps=[a])
+            g.add("s", TaskKind.S, _mk(), fn=lambda: log.append("s"), deps=[l, u])
+            return g
+
+        journal = TaskJournal()
+        journal.bind(diamond([]))
+        journal.mark_completed(["a", "l"])
+        log: list[str] = []
+        make().run(diamond(log), journal=journal)
+        assert log == ["u", "s"]

@@ -19,16 +19,36 @@ from tests.conftest import assert_lu_ok, make_rng
 
 
 class TestCALUDegradation:
-    def test_corrupted_tournament_falls_back_to_partial_pivoting(self):
+    def test_corrupted_tournament_recomputed_from_clean_panel(self):
         A0 = make_rng(0).standard_normal((48, 48))
         # One corruption, hitting the first P task to finish (a leaf,
         # with n_workers=1): its candidate buffer is poisoned, the
-        # merge detects it, the finalize degrades to GEPP.
+        # merge detects it, and the finalize task replays the whole
+        # tournament from the untouched panel — recovery ladder rung 1,
+        # yielding factors bitwise-identical to a fault-free run.
         plan = FaultPlan(0, corrupt_rate={"P": 1.0}, max_faults=1)
         ex = ThreadedExecutor(1, fault_plan=plan)
         f = calu(A0, b=8, tr=4, executor=ex)
         assert_lu_ok(A0, f.lu, f.piv)
+        assert f.recovered_panels == (0,)
+        assert f.degraded_panels == ()
+        counts = f.trace.resilience_summary()
+        assert counts.get("fault_corrupt") == 1
+        assert counts.get("recompute", 0) >= 1
+        clean = calu(A0, b=8, tr=4)
+        assert np.array_equal(f.lu, clean.lu)
+        assert np.array_equal(f.piv, clean.piv)
+
+    def test_corrupted_tournament_falls_back_to_partial_pivoting(self):
+        A0 = make_rng(0).standard_normal((48, 48))
+        # With the recompute rung disabled, the historical behaviour:
+        # the finalize task degrades the panel to classic GEPP.
+        plan = FaultPlan(0, corrupt_rate={"P": 1.0}, max_faults=1)
+        ex = ThreadedExecutor(1, fault_plan=plan)
+        f = calu(A0, b=8, tr=4, executor=ex, tournament_recompute=False)
+        assert_lu_ok(A0, f.lu, f.piv)
         assert f.degraded_panels == (0,)
+        assert f.recovered_panels == ()
         counts = f.trace.resilience_summary()
         assert counts.get("fault_corrupt") == 1
         assert counts.get("degraded", 0) >= 1
@@ -36,7 +56,13 @@ class TestCALUDegradation:
     def test_degraded_panel_factors_match_plain_gepp_quality(self):
         A0 = make_rng(1).standard_normal((40, 40))
         plan = FaultPlan(2, corrupt_rate={"P": 1.0}, max_faults=1)
-        f = calu(A0, b=10, tr=4, executor=ThreadedExecutor(1, fault_plan=plan))
+        f = calu(
+            A0,
+            b=10,
+            tr=4,
+            executor=ThreadedExecutor(1, fault_plan=plan),
+            tournament_recompute=False,
+        )
         x = f.solve(np.ones(40))
         r = np.linalg.norm(A0 @ x - 1.0)
         assert r < 1e-8

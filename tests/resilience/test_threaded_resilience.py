@@ -70,11 +70,17 @@ class TestRetries:
             ThreadedExecutor(1, retry=RetryPolicy(max_retries=2, backoff_s=1e-4)).run(g)
         assert flaky.calls == 3  # initial + 2 retries
 
-    def test_plain_executor_still_raises_raw(self):
-        # Backward compatibility: no resilience options -> original error.
+    def test_plain_executor_raises_structured_failure(self):
+        # Unified failure semantics: even with no resilience options
+        # configured, a task error surfaces as a RuntimeFailure naming
+        # the task and chaining the original exception.
         g = chain_graph([Flaky(1)])
-        with pytest.raises(ValueError, match="flaky"):
+        with pytest.raises(RuntimeFailure, match="flaky") as ei:
             ThreadedExecutor(2).run(g)
+        assert ei.value.failure_kind == "task_error"
+        assert ei.value.task == "t0"
+        assert isinstance(ei.value.__cause__, ValueError)
+        assert ei.value.trace is not None
 
 
 class TestInjectedFaults:

@@ -8,7 +8,9 @@ from repro.bench.tables import Table
 from repro.core.calu import build_calu_graph
 from repro.core.layout import BlockLayout
 from repro.machine.presets import generic
+from repro.resilience.events import ResilienceEvent
 from repro.runtime.simulated import SimulatedExecutor
+from repro.runtime.task import TaskKind
 from repro.runtime.trace import Trace
 
 
@@ -35,6 +37,31 @@ class TestJson:
     def test_empty_trace(self):
         doc = json.loads(Trace([], 2).to_json())
         assert doc["records"] == []
+
+    def test_from_json_round_trip_equivalent(self):
+        trace, graph = small_trace()
+        trace.events.append(
+            ResilienceEvent("retry", task="P[0]", tid=0, detail="re-ran", value=1.0)
+        )
+        trace.events.append(ResilienceEvent("checkpoint", task="C[0]", tid=99))
+        back = Trace.from_json(trace.to_json())
+        assert back.n_cores == trace.n_cores
+        assert back.makespan == trace.makespan
+        assert [(r.tid, r.name, r.kind, r.core, r.start, r.end) for r in back.records] == [
+            (r.tid, r.name, r.kind, r.core, r.start, r.end) for r in trace.records
+        ]
+        assert all(isinstance(r.kind, TaskKind) for r in back.records)
+        # Diagnostics behave identically on the deserialized trace.
+        assert back.resilience_summary() == trace.resilience_summary() == {
+            "retry": 1,
+            "checkpoint": 1,
+        }
+        assert back.events == trace.events
+        back.validate_schedule(graph)
+
+    def test_from_json_empty(self):
+        back = Trace.from_json(Trace([], 3).to_json())
+        assert back.records == [] and back.n_cores == 3 and back.events == []
 
 
 class TestSvg:
