@@ -184,10 +184,11 @@ def build_tiled_lu_graph(
                     words=2.0 * rk * cj + rk * ck,
                     library=library,
                 ),
-                reads=[(k, k)],
+                reads=[(k, k), (k, j)],
                 writes=[(k, j)],
                 priority=task_priority("U", k, j, lookahead=lookahead, n_cols=N),
                 iteration=k,
+                col=j,
             )
         for i in range(k + 1, lay.M):
             ri = lay.row_range(i)[1] - lay.row_range(i)[0]
@@ -205,7 +206,7 @@ def build_tiled_lu_graph(
                     library=library,
                 ),
                 # Reads and updates the running U_kk: serial chain down column k.
-                reads=[(k, k)],
+                reads=[(k, k), (i, k)],
                 writes=[(k, k), (i, k)],
                 priority=task_priority("P", k, lookahead=lookahead, n_cols=N),
                 iteration=k,
@@ -225,9 +226,10 @@ def build_tiled_lu_graph(
                         words=2.0 * ri * cj + ri * ck + ck * cj,
                         library=library,
                     ),
-                    reads=[(i, k)],
+                    reads=[(i, k), (k, j), (i, j)],
                     writes=[(k, j), (i, j)],
                     priority=task_priority("S", k, j, lookahead=lookahead, n_cols=N),
                     iteration=k,
+                    col=j,
                 )
     return graph

@@ -195,10 +195,11 @@ def build_tiled_qr_graph(
                     words=2.0 * rk * cj + rk * ck,
                     library=library,
                 ),
-                reads=[(k, k)],
+                reads=[(k, k), (k, j)],
                 writes=[(k, j)],
                 priority=task_priority("S", k, j, lookahead=lookahead, n_cols=N),
                 iteration=k,
+                col=j,
             )
         for i in range(k + 1, lay.M):
             ri = lay.row_range(i)[1] - lay.row_range(i)[0]
@@ -215,7 +216,7 @@ def build_tiled_qr_graph(
                     words=2.0 * ri * ck + ck * ck,
                     library=library,
                 ),
-                reads=[(k, k)],
+                reads=[(k, k), (i, k)],
                 writes=[(k, k), (i, k)],
                 priority=task_priority("P", k, lookahead=lookahead, n_cols=N),
                 iteration=k,
@@ -235,9 +236,10 @@ def build_tiled_qr_graph(
                         words=2.0 * ri * cj + ri * ck,
                         library=library,
                     ),
-                    reads=[(i, k)],
+                    reads=[(i, k), (k, j), (i, j)],
                     writes=[(k, j), (i, j)],
                     priority=task_priority("S", k, j, lookahead=lookahead, n_cols=N),
                     iteration=k,
+                    col=j,
                 )
     return graph

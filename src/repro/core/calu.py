@@ -327,10 +327,14 @@ def build_calu_graph(
                 TaskKind.U,
                 cost_u,
                 fn=_u_fn(A, m, k0, bk, c0, c1, j0, j1, ws) if numeric else None,
-                reads=[(K, K)],
+                # The row swaps consume the panel's pivot sequence, so
+                # ("piv", K) joins the read footprint alongside the
+                # factored diagonal block.
+                reads=[(K, K), ("piv", K)],
                 writes=u_writes,
                 priority=task_priority("U", K, J, lookahead=lookahead, n_cols=N),
                 iteration=K,
+                col=J,
             )
             for chunk in chunks:
                 r0 = max(chunk.r0, k0 + bk)
@@ -373,6 +377,7 @@ def build_calu_graph(
                     extra_deps=[u_tid],
                     priority=task_priority("S", K, J, lookahead=lookahead, n_cols=N),
                     iteration=K,
+                    col=J,
                     **s_meta,
                 )
 
@@ -396,6 +401,9 @@ def build_calu_graph(
                 for i in range(layout.M)
                 if J <= K or i > prevK
             ]
+            # The snapshot also serializes the covered panels' pivot
+            # sequences and degradation flags from the workspaces.
+            ck_reads += [("piv", P) for P in range(max(prevK + 1, 0), K + 1)]
             tracker.add_task(
                 graph,
                 ck_name,
@@ -415,6 +423,16 @@ def build_calu_graph(
         swap_words = 2.0 * sum(
             K * b * layout.panel_width(K) for K in range(1, layout.n_panels)
         )
+        # Declared footprint (for the verify passes): panel K's swaps
+        # touch rows [K*b, m) of every column left of the panel, i.e.
+        # the strictly-sub-diagonal blocks of columns 0..n_panels-2,
+        # driven by the pivot sequences of panels 1..n_panels-1.
+        swap_blocks = frozenset(
+            (i, J)
+            for J in range(layout.n_panels - 1)
+            for i in range(J + 1, layout.M)
+        )
+        swap_reads = swap_blocks | {("piv", K) for K in range(1, layout.n_panels)}
         graph.add(
             "leftswaps",
             TaskKind.X,
@@ -423,6 +441,8 @@ def build_calu_graph(
             deps=sinks,
             priority=task_priority("X", layout.n_panels),
             iteration=layout.n_panels - 1,
+            reads=swap_reads,
+            writes=swap_blocks,
         )
     return graph, workspaces
 

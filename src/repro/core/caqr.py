@@ -24,10 +24,10 @@ import numpy as np
 
 from repro.analysis.flops import larfb_flops, tpmqrt_flops
 from repro.core.calu import merged_chunks
-from repro.core.layout import BlockLayout, Chunk
+from repro.core.layout import BlockLayout
 from repro.core.priorities import task_priority
 from repro.core.trees import TreeKind
-from repro.core.tsqr import MergeStep, PanelQRStore, add_tsqr_tasks
+from repro.core.tsqr import PanelQRStore, add_tsqr_tasks
 from repro.kernels.qr import larfb_left_t
 from repro.kernels.structured import tpmqrt_left_t
 from repro.resilience.checkpoint import restore_matrix
@@ -131,6 +131,10 @@ def build_caqr_graph(
     guards = guards and numeric
     N = layout.N
     stores: list[PanelQRStore] = []
+    # Per-panel symbolic footprint keys of the implicit-Q factors the
+    # TSQR tasks deposit in the PanelQRStore (read back by the trailing
+    # updates and the checkpoint snapshots).
+    panel_q_keys: list[list[tuple]] = []
 
     for K in range(layout.n_panels):
         bk = layout.panel_width(K)
@@ -152,6 +156,10 @@ def build_caqr_graph(
             library=library,
             leaf_kernel=leaf_kernel,
             arity=arity,
+        )
+        panel_q_keys.append(
+            [("qleaf", K, slot) for slot in sorted(handles.leaf_tids)]
+            + [("qmerge", K, step.ordinal) for step in handles.merge_steps]
         )
         if guards:
             # QR panel guards attach post-hoc on the TSQR handles: the
@@ -202,11 +210,14 @@ def build_caqr_graph(
                     TaskKind.S,
                     cost,
                     fn=_leaf_update_fn(A, store, slot, j0, j1) if numeric else None,
-                    reads=chunk.blocks(K),
+                    # The applied reflector comes out of the store, not
+                    # the matrix: ("qleaf", K, slot) carries that edge.
+                    reads=chunk.blocks(K) + [("qleaf", K, slot)],
                     writes=chunk.blocks(J),
                     extra_deps=[handles.leaf_tids[slot]],
                     priority=task_priority("S", K, J, lookahead=lookahead, n_cols=N),
                     iteration=K,
+                    col=J,
                     **s_meta,
                 )
             # Tree-node updates: tpmqrt on the two R slices per merge.
@@ -240,11 +251,12 @@ def build_caqr_graph(
                     fn=_merge_update_fn(A, store, step.pair_indices, j0, j1)
                     if numeric
                     else None,
-                    reads=blocks,
+                    reads=blocks + [("qmerge", K, step.ordinal)],
                     writes=blocks,
                     extra_deps=[step.tid],
                     priority=task_priority("S", K, J, lookahead=lookahead, n_cols=N),
                     iteration=K,
+                    col=J,
                     **s_meta,
                 )
 
@@ -265,6 +277,10 @@ def build_caqr_graph(
                 for i in range(layout.M)
                 if J <= K or i > prevK
             ]
+            # The snapshot flattens the covered panels' implicit-Q
+            # stores into its payload.
+            for P in range(max(prevK + 1, 0), K + 1):
+                ck_reads += panel_q_keys[P]
             tracker.add_task(
                 graph,
                 ck_name,

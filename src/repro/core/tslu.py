@@ -333,6 +333,15 @@ def add_tslu_tasks(
         ws.allow_recompute = bool(recompute)
     prio_p = task_priority("P", K, lookahead=lookahead, n_cols=layout.N)
 
+    # Workspace footprint keys: candidate buffers live outside the
+    # block grid, so the tournament's dataflow through them is tracked
+    # with symbolic per-panel keys — ("cand", K, slot) for a slot of
+    # PanelWorkspace.cand_rows/cand_gidx, ("piv", K) for ws.piv.  The
+    # tracker then derives the tree edges (and the verify passes can
+    # prove them sufficient) instead of the builder hand-wiring deps.
+    def cand(slot: int) -> tuple:
+        return ("cand", K, slot)
+
     producer: dict[int, int] = {}
     for chunk in chunks:
         cost = Cost(
@@ -356,6 +365,7 @@ def add_tslu_tasks(
             cost,
             fn=fn,
             reads=chunk.blocks(K),
+            writes=[cand(chunk.index)],
             priority=prio_p,
             iteration=K,
             idempotent=numeric,
@@ -384,12 +394,18 @@ def add_tslu_tasks(
             if numeric and guards:
                 meta["health"] = _candidate_guard(ws, dst, K, name)
                 meta["corrupt"] = _corrupt_candidates(ws, dst)
-            producer[dst] = graph.add(
+            # Dependencies are derived from the candidate-slot keys:
+            # RAW on each source producer, WAW on the previous writer
+            # of the destination slot — identical to the hand-wired
+            # edge list this used to pass, but now verifiable.
+            producer[dst] = tracker.add_task(
+                graph,
                 name,
                 TaskKind.P,
                 cost,
                 fn=fn,
-                deps=[producer[s] for s in srcs],
+                reads=[cand(s) for s in srcs],
+                writes=[cand(dst)],
                 priority=prio_p,
                 iteration=K,
                 **meta,
@@ -414,14 +430,18 @@ def add_tslu_tasks(
     meta = {}
     if numeric and guards:
         meta["health"] = _panel_guard(A, k0, r, c0, c1, ws, K, absmax, name)
+    # The finalize swaps + factors the whole active panel column (its
+    # declared writes), consumes the tournament winner and publishes
+    # the pivot sequence the U tasks and the deferred left swaps read.
+    panel_blocks = layout.active_blocks(K, K)
     finalize = tracker.add_task(
         graph,
         name,
         TaskKind.P,
         fin_cost,
         fn=fn,
-        writes=layout.active_blocks(K, K),
-        extra_deps=[producer[root]],
+        reads=[cand(root)] + panel_blocks,
+        writes=panel_blocks + [("piv", K)],
         priority=task_priority("F", K, lookahead=lookahead, n_cols=layout.N),
         iteration=K,
         **meta,

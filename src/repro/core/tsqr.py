@@ -152,6 +152,9 @@ class MergeStep:
     dst: Chunk
     srcs: list[Chunk]
     pair_indices: list[int]  # indices into PanelQRStore.merges
+    #: Ordinal of this step within its panel; keys the step's implicit-Q
+    #: output in task footprints as ``("qmerge", K, ordinal)``.
+    ordinal: int = 0
 
 
 @dataclass
@@ -242,6 +245,9 @@ def add_tsqr_tasks(
             library=library,
         )
         fn = _leaf_fn(A, chunk, c0, c1, store, leaf_kernel) if numeric else None
+        # ("qleaf", K, slot) keys the WY factor this task deposits in
+        # the panel's PanelQRStore — read later by the trailing updates
+        # that apply the leaf reflector.
         tid = tracker.add_task(
             graph,
             f"P[{K}]leaf{chunk.index}",
@@ -249,7 +255,7 @@ def add_tsqr_tasks(
             cost,
             fn=fn,
             reads=chunk.blocks(K),
-            writes=chunk.blocks(K),
+            writes=chunk.blocks(K) + [("qleaf", K, chunk.index)],
             priority=prio_p,
             iteration=K,
         )
@@ -279,19 +285,28 @@ def add_tsqr_tasks(
             fn = (
                 _merge_fn(A, dst, srcs, c0, c1, store, pair_indices) if numeric else None
             )
+            ordinal = len(merge_steps)
+            rblocks = [(dst.b0, K)] + [(s.b0, K) for s in srcs]
             tid = tracker.add_task(
                 graph,
                 f"P[{K}]merge{dst.index}<{','.join(str(s.index) for s in srcs)}",
                 TaskKind.P,
                 cost,
                 fn=fn,
-                reads=[(dst.b0, K)] + [(s.b0, K) for s in srcs],
-                writes=[(dst.b0, K)] + [(s.b0, K) for s in srcs],
+                reads=rblocks,
+                writes=rblocks + [("qmerge", K, ordinal)],
                 priority=prio_p,
                 iteration=K,
             )
             merge_steps.append(
-                MergeStep(tid=tid, level=lvl, dst=dst, srcs=srcs, pair_indices=pair_indices)
+                MergeStep(
+                    tid=tid,
+                    level=lvl,
+                    dst=dst,
+                    srcs=srcs,
+                    pair_indices=pair_indices,
+                    ordinal=ordinal,
+                )
             )
     return TSQRTasks(leaf_tids=leaf_tids, leaf_chunks=leaf_chunks, merge_steps=merge_steps)
 

@@ -13,7 +13,6 @@ Both routines factor an ``m x b`` panel distributed by block rows over
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.calu import CALUFactorization, calu
-from repro.core.caqr import CAQRFactorization, caqr
+from repro.core.caqr import caqr
 from repro.core.trees import TreeKind
 from repro.resilience.health import NumericalHealthWarning, validate_matrix, validate_rhs
 

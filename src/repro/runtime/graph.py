@@ -142,18 +142,30 @@ class TaskGraph:
         Nodes are colored by task kind following the paper's scheme
         (P red, L yellow, U blue, S green).  Raises if the graph is
         larger than *max_tasks* — render per-panel subsets instead.
+
+        Names and the graph title are dot-escaped (quotes, backslashes)
+        and nodes/edges are emitted in deterministic (tid-sorted) order
+        so the output is a stable snapshot for tests and diffing.
         """
         if len(self.tasks) > max_tasks:
             raise ValueError(
                 f"graph has {len(self.tasks)} tasks; raise max_tasks to render anyway"
             )
+
+        def esc(s: str) -> str:
+            return s.replace("\\", "\\\\").replace('"', '\\"')
+
         colors = {"P": "#e74c3c", "L": "#f1c40f", "U": "#5dade2", "S": "#58d68d", "X": "#bbbbbb"}
-        lines = [f'digraph "{self.name}" {{', "  rankdir=TB;", '  node [style=filled, fontname="monospace"];']
+        lines = [
+            f'digraph "{esc(self.name)}" {{',
+            "  rankdir=TB;",
+            '  node [style=filled, fontname="monospace"];',
+        ]
         for t in self.tasks:
             color = colors.get(t.kind.value, "#dddddd")
-            lines.append(f'  t{t.tid} [label="{t.name}", fillcolor="{color}"];')
+            lines.append(f'  t{t.tid} [label="{esc(t.name)}", fillcolor="{color}"];')
         for t in range(len(self.tasks)):
-            for s in self.succs[t]:
+            for s in sorted(self.succs[t]):
                 lines.append(f"  t{t} -> t{s};")
         lines.append("}")
         return "\n".join(lines)
@@ -198,11 +210,20 @@ class BlockTracker:
     * a reader depends on the last writer of each block it reads;
     * a writer depends on the last writer *and* on every reader since
       (WAR + WAW), so in-place updates serialize correctly.
+
+    The per-task access sets are *kept* after edge derivation:
+    :meth:`footprint` returns the accumulated ``(reads, writes)`` of a
+    task, and :meth:`add_task` mirrors them into ``Task.meta["reads"]``
+    / ``Task.meta["writes"]`` so the :mod:`repro.verify` passes (static
+    race detection, dynamic footprint sanitizing) and the builders
+    share one source of truth about who touches what.
     """
 
     def __init__(self) -> None:
         self._last_writer: dict[Hashable, int] = {}
         self._readers: dict[Hashable, list[int]] = {}
+        self._reads: dict[int, set[Hashable]] = {}
+        self._writes: dict[int, set[Hashable]] = {}
 
     def deps_for(
         self,
@@ -234,6 +255,8 @@ class BlockTracker:
     ) -> None:
         """Record that task *tid* performed the given accesses."""
         readers = self._readers
+        self._reads.setdefault(tid, set()).update(reads)
+        self._writes.setdefault(tid, set()).update(writes)
         for blk in reads:
             readers.setdefault(blk, []).append(tid)
         lw = self._last_writer
@@ -241,6 +264,22 @@ class BlockTracker:
             lw[blk] = tid
             if blk in readers:
                 readers[blk] = []
+
+    def footprint(self, tid: int) -> tuple[frozenset, frozenset]:
+        """Accumulated ``(reads, writes)`` block sets of task *tid*.
+
+        Raises ``KeyError`` for a task this tracker never committed.
+        """
+        if tid not in self._reads and tid not in self._writes:
+            raise KeyError(f"task {tid} has no recorded footprint")
+        return (
+            frozenset(self._reads.get(tid, ())),
+            frozenset(self._writes.get(tid, ())),
+        )
+
+    def known_tids(self) -> list[int]:
+        """Task ids with a recorded footprint, ascending."""
+        return sorted(self._reads.keys() | self._writes.keys())
 
     def add_task(
         self,
@@ -257,7 +296,12 @@ class BlockTracker:
         idempotent: bool = False,
         **meta,
     ) -> int:
-        """Add a task to *graph* with dependencies derived from accesses."""
+        """Add a task to *graph* with dependencies derived from accesses.
+
+        The access sets are also mirrored into ``Task.meta["reads"]`` /
+        ``Task.meta["writes"]`` so the :mod:`repro.verify` passes see
+        exactly the footprint the dependencies were derived from.
+        """
         deps = self.deps_for(reads, writes)
         deps.update(extra_deps)
         tid = graph.add(
@@ -272,6 +316,9 @@ class BlockTracker:
             **meta,
         )
         self.commit(tid, reads, writes)
+        task = graph.tasks[tid]
+        task.meta["reads"] = frozenset(reads)
+        task.meta["writes"] = frozenset(writes)
         return tid
 
 

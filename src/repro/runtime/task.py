@@ -96,6 +96,16 @@ class Task:
     zero-argument guard returning ``None`` or a
     :class:`~repro.resilience.events.ResilienceEvent`) and
     ``meta["corrupt"]`` (a zero-argument fault-injection target).
+
+    ``meta["reads"]`` / ``meta["writes"]`` are the task's *declared
+    footprint*: frozensets of block keys recorded by
+    :class:`~repro.runtime.graph.BlockTracker` (or set directly by a
+    builder for tasks with hand-wired dependencies).  They are the
+    input of the :mod:`repro.verify` passes — the static race detector
+    proves every conflicting pair ordered, and the dynamic sanitizer
+    cross-checks declared footprints against the array regions a
+    closure actually mutates.  ``meta["col"]`` marks the target block
+    column of U/S update tasks (used by the look-ahead lint rule).
     """
 
     tid: int
@@ -107,6 +117,21 @@ class Task:
     iteration: int = 0
     idempotent: bool = False
     meta: dict = field(default_factory=dict)
+
+    @property
+    def reads(self) -> frozenset:
+        """Declared read footprint (empty when never recorded)."""
+        return self.meta.get("reads", frozenset())
+
+    @property
+    def writes(self) -> frozenset:
+        """Declared write footprint (empty when never recorded)."""
+        return self.meta.get("writes", frozenset())
+
+    @property
+    def has_footprint(self) -> bool:
+        """True when a read/write footprint was declared for this task."""
+        return "reads" in self.meta or "writes" in self.meta
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Task({self.tid}, {self.name!r}, kind={self.kind.value}, prio={self.priority:g})"

@@ -1,0 +1,317 @@
+"""``python -m repro.verify`` — run all verification passes.
+
+Default target matrix: CALU and CAQR graphs across binary and flat
+reduction trees at two sizes each (numeric — static race proof, DAG
+lint, dynamic footprint sanitizer, schedule fuzzer), two larger
+symbolic CALU/CAQR graphs, and the four baseline graphs (static
+passes only).  Exits nonzero when any graph has gating findings
+(``error`` or ``warning``; ``info`` notes never gate).
+
+``--self-test`` instead verifies the verifier: it drops a random
+essential dependency edge from a CALU graph and asserts the race
+detector reports exactly that task pair, then misdeclares a numeric
+task's write footprint and asserts the sanitizer flags it.  Exits
+nonzero when either injected defect goes *undetected*.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.lapack_lu import build_getrf_graph
+from repro.baselines.lapack_qr import build_geqrf_graph
+from repro.baselines.tiled_lu import build_tiled_lu_graph
+from repro.baselines.tiled_qr import build_tiled_qr_graph
+from repro.core.calu import build_calu_graph
+from repro.core.caqr import build_caqr_graph
+from repro.core.layout import BlockLayout
+from repro.core.trees import TreeKind
+from repro.runtime.graph import TaskGraph
+from repro.verify.findings import Report
+from repro.verify.lint import lint_graph
+from repro.verify.mutate import drop_edge, pick_droppable_edge
+from repro.verify.races import check_races
+from repro.verify.sanitize import fuzz_schedules, sanitize_footprints
+
+__all__ = ["main", "verify_graph", "default_targets"]
+
+_MATRIX_SEED = 20100419  # IPDPS 2010 — fixed so runs are reproducible
+
+
+def _random_matrix(m: int, n: int, seed: int = _MATRIX_SEED) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+def _calu_builder(m: int, n: int, b: int, tr: int, tree: TreeKind):
+    def build():
+        A = _random_matrix(m, n)
+        layout = BlockLayout(m, n, b)
+        graph, workspaces = build_calu_graph(layout, tr, tree, A=A, guards=False)
+
+        def collect() -> list[np.ndarray]:
+            out = [A]
+            for ws in workspaces:
+                if ws.piv is not None:
+                    out.append(np.asarray(ws.piv, dtype=np.int64))
+            return out
+
+        return graph, collect
+
+    return build
+
+
+def _caqr_builder(m: int, n: int, b: int, tr: int, tree: TreeKind):
+    def build():
+        A = _random_matrix(m, n)
+        layout = BlockLayout(m, n, b)
+        graph, stores = build_caqr_graph(layout, tr, tree, A=A, guards=False)
+
+        def collect() -> list[np.ndarray]:
+            out = [A]
+            for store in stores:
+                for slot in sorted(store.leaves):
+                    out.append(store.leaves[slot].V)
+                    out.append(store.leaves[slot].T)
+                for mf in store.merges:
+                    if mf is not None:
+                        out.append(mf.Vb)
+                        out.append(mf.T)
+            return out
+
+        return graph, collect
+
+    return build
+
+
+class Target:
+    """One graph to verify: a fresh-builder plus dynamic-pass config."""
+
+    def __init__(self, name: str, build, *, block: int | None = None) -> None:
+        self.name = name
+        self.build = build
+        self.block = block  # block size for the sanitizer; None = static only
+
+    @property
+    def numeric(self) -> bool:
+        return self.block is not None
+
+
+def default_targets() -> list[Target]:
+    targets: list[Target] = []
+    for tree in (TreeKind.BINARY, TreeKind.FLAT):
+        for m, n, b, tr in ((48, 48, 8, 4), (40, 24, 8, 3)):
+            targets.append(
+                Target(
+                    f"calu-{tree.value}-{m}x{n}",
+                    _calu_builder(m, n, b, tr, tree),
+                    block=b,
+                )
+            )
+            targets.append(
+                Target(
+                    f"caqr-{tree.value}-{m}x{n}",
+                    _caqr_builder(m, n, b, tr, tree),
+                    block=b,
+                )
+            )
+    # Larger symbolic graphs: static proof scales past what we execute.
+    for tree in (TreeKind.BINARY, TreeKind.FLAT):
+        targets.append(
+            Target(
+                f"calu-{tree.value}-sym-256x128",
+                lambda tree=tree: (
+                    build_calu_graph(BlockLayout(256, 128, 16), 4, tree)[0],
+                    None,
+                ),
+            )
+        )
+        targets.append(
+            Target(
+                f"caqr-{tree.value}-sym-256x128",
+                lambda tree=tree: (
+                    build_caqr_graph(BlockLayout(256, 128, 16), 4, tree)[0],
+                    None,
+                ),
+            )
+        )
+    targets.append(
+        Target("tiled-lu-sym-64x64", lambda: (build_tiled_lu_graph(64, 64, nb=16), None))
+    )
+    targets.append(
+        Target("tiled-qr-sym-64x64", lambda: (build_tiled_qr_graph(64, 64, nb=16), None))
+    )
+    targets.append(
+        Target("getrf-sym-128x128", lambda: (build_getrf_graph(128, 128, b=32), None))
+    )
+    targets.append(
+        Target("geqrf-sym-128x128", lambda: (build_geqrf_graph(128, 128, b=32), None))
+    )
+    return targets
+
+
+def verify_graph(
+    graph: TaskGraph,
+    *,
+    A: np.ndarray | None = None,
+    block: int | None = None,
+    fuzz_build: Callable | None = None,
+    fuzz_runs: int = 0,
+    seed: int = 0,
+    label: str | None = None,
+) -> Report:
+    """Run the verification passes over one graph; returns the report.
+
+    Static passes (races, lint) always run.  The footprint sanitizer
+    runs when ``A``/``block`` are given (and executes the graph); the
+    schedule fuzzer runs when ``fuzz_build``/``fuzz_runs`` are given.
+    ``label`` overrides the report's display name (default: graph name).
+    """
+    report = Report(label or graph.name)
+    report.extend("races", check_races(graph))
+    report.extend("lint", lint_graph(graph))
+    if A is not None and block is not None:
+        report.extend("sanitize", sanitize_footprints(graph, A, block))
+    if fuzz_build is not None and fuzz_runs > 0:
+        report.extend("fuzz", fuzz_schedules(fuzz_build, runs=fuzz_runs, seed=seed))
+    return report
+
+
+def _verify_target(target: Target, fuzz_runs: int, static_only: bool, seed: int) -> Report:
+    built = target.build()
+    graph = built[0]
+    if static_only or not target.numeric:
+        return verify_graph(graph, label=target.name)
+    # Recover the matrix the closures mutate: collect()'s first array.
+    collect = built[1]
+    A = collect()[0]
+    return verify_graph(
+        graph,
+        A=A,
+        block=target.block,
+        fuzz_build=target.build,
+        fuzz_runs=fuzz_runs,
+        seed=seed,
+        label=target.name,
+    )
+
+
+def self_test(seed: int = 0, verbose: bool = False) -> int:
+    """Verify the verifier; returns a process exit code (0 = all detected)."""
+    failures = 0
+
+    # 1. Edge-drop mutation: the race detector must name the dropped pair.
+    layout = BlockLayout(48, 48, 8)
+    graph, _ = build_calu_graph(layout, 4, TreeKind.BINARY)
+    baseline = [f for f in check_races(graph) if f.severity == "error"]
+    if baseline:
+        print("self-test FAIL: pristine CALU graph already has race errors")
+        failures += 1
+    u, v = pick_droppable_edge(graph, seed=seed)
+    mutant = drop_edge(graph, u, v)
+    hits = [
+        f
+        for f in check_races(mutant)
+        if f.rule == "race" and set(f.tasks) == {u, v}
+    ]
+    if hits:
+        if verbose:
+            print(f"self-test: dropped edge {u} -> {v}; detector reported:")
+            print(f"  {hits[0]}")
+        print(f"self-test ok: edge-drop mutation ({u} -> {v}) detected as a race")
+    else:
+        print(
+            f"self-test FAIL: dropped conflict edge {u} -> {v} but the race "
+            "detector did not report that pair"
+        )
+        failures += 1
+
+    # 2. Misdeclared footprint: the sanitizer must catch a write outside
+    # the declared set.
+    A = _random_matrix(48, 48)
+    graph, _ = build_calu_graph(BlockLayout(48, 48, 8), 4, TreeKind.BINARY, A=A, guards=False)
+    victim = None
+    for task in graph.tasks:
+        blocks = sorted(
+            (k for k in task.writes if isinstance(k, tuple) and len(k) == 2
+             and all(isinstance(x, int) for x in k)),
+            key=repr,
+        )
+        if task.fn is not None and task.cost.kernel == "gemm" and blocks:
+            victim = (task, blocks[0])
+            break
+    if victim is None:
+        print("self-test FAIL: no numeric gemm task with a matrix write footprint")
+        return 1
+    task, hidden = victim
+    task.meta["writes"] = task.writes - {hidden}
+    findings = sanitize_footprints(graph, A, 8)
+    hits = [
+        f
+        for f in findings
+        if f.rule == "footprint" and f.tasks == (task.tid,) and f.block == hidden
+    ]
+    if hits:
+        if verbose:
+            print(f"self-test: hid block {hidden} from task #{task.tid}; sanitizer reported:")
+            print(f"  {hits[0]}")
+        print(
+            f"self-test ok: misdeclared footprint (task #{task.tid}, block {hidden}) detected"
+        )
+    else:
+        print(
+            f"self-test FAIL: hid write block {hidden} from task #{task.tid} "
+            f"{task.name!r} but the sanitizer did not flag it"
+        )
+        failures += 1
+
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Prove race-freedom and lint the CALU/CAQR/baseline task graphs.",
+    )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=3,
+        metavar="N",
+        help="random-schedule fuzz runs per numeric graph (default 3; 0 disables)",
+    )
+    parser.add_argument(
+        "--static-only",
+        action="store_true",
+        help="skip the dynamic passes (no execution; races + lint only)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the verifier via edge-drop and footprint mutations",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="seed for fuzzing/mutation")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="print info notes, not just gating findings"
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(seed=args.seed, verbose=args.verbose)
+
+    failed = 0
+    for target in default_targets():
+        report = _verify_target(target, args.fuzz, args.static_only, args.seed)
+        print(report.summary())
+        shown = report.findings if args.verbose else report.gating
+        for finding in shown:
+            print(f"  {finding}")
+        if not report.ok:
+            failed += 1
+    if failed:
+        print(f"FAILED: {failed} graph(s) with gating findings")
+        return 1
+    print("all graphs race-free and lint-clean")
+    return 0

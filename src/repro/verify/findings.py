@@ -1,0 +1,103 @@
+"""Finding and report types shared by all verification passes.
+
+A :class:`Finding` is one defect (or note) a pass produced about a
+task graph; a :class:`Report` aggregates the findings of every pass
+that ran over one graph.  Severities:
+
+``error``
+    The graph is wrong: an unordered conflicting access (race), a
+    cycle, a closure writing outside its declared footprint, a
+    schedule-dependent result, or cost metadata that contradicts the
+    kernel dimensions.
+``warning``
+    Almost certainly a builder bug even if execution may survive it:
+    isolated tasks, numeric closures with no declared footprint,
+    look-ahead priority inversions, missing word counts.
+``info``
+    Harmless observations, e.g. transitively redundant edges (the
+    block tracker's conservative WAW edges produce these by design).
+
+``error`` and ``warning`` findings gate (CLI exits nonzero); ``info``
+notes never do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Report", "SEVERITIES"]
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect or note about a task graph.
+
+    ``tasks`` are the task ids involved (counterexample pair for a
+    race, cycle members for a cycle, the single offender otherwise);
+    ``block`` is the conflicting block key when one exists.  ``message``
+    is a human-actionable description including the suggested fix.
+    """
+
+    rule: str
+    severity: str
+    graph: str
+    message: str
+    tasks: tuple[int, ...] = ()
+    block: object = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def __str__(self) -> str:
+        loc = f" tasks={list(self.tasks)}" if self.tasks else ""
+        blk = f" block={self.block!r}" if self.block is not None else ""
+        return f"[{self.severity}] {self.rule}:{loc}{blk} {self.message}"
+
+
+@dataclass
+class Report:
+    """All findings of the passes that ran over one graph."""
+
+    graph: str
+    findings: list[Finding] = field(default_factory=list)
+    passes: list[str] = field(default_factory=list)
+
+    def extend(self, pass_name: str, findings: list[Finding]) -> None:
+        if pass_name not in self.passes:
+            self.passes.append(pass_name)
+        self.findings.extend(findings)
+
+    def by_severity(self, severity: str) -> list[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.by_severity("error")
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return self.by_severity("warning")
+
+    @property
+    def notes(self) -> list[Finding]:
+        return self.by_severity("info")
+
+    @property
+    def gating(self) -> list[Finding]:
+        """Findings that fail the gate (errors + warnings)."""
+        return [f for f in self.findings if f.severity in ("error", "warning")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.gating
+
+    def summary(self) -> str:
+        e, w, i = len(self.errors), len(self.warnings), len(self.notes)
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"{self.graph}: {status} ({', '.join(self.passes)}; "
+            f"{e} errors, {w} warnings, {i} notes)"
+        )

@@ -1,0 +1,87 @@
+"""Mutation self-test: prove the race detector actually detects.
+
+A verifier that always says "race-free" is worthless.  This module
+injects a known defect — drop one dependency edge whose endpoints
+conflict on a block and that no alternate path covers — and asserts
+the detector reports *exactly* that pair.  The CLI's ``--self-test``
+runs it (plus a deliberately misdeclared footprint through the
+dynamic sanitizer) and fails when the defect goes unreported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.graph import TaskGraph
+from repro.verify.reach import ancestor_masks, has_path
+
+__all__ = ["conflict_edges", "essential_conflict_edges", "drop_edge", "pick_droppable_edge"]
+
+
+def conflict_edges(graph: TaskGraph) -> list[tuple[int, int]]:
+    """Graph edges ``(u, v)`` whose endpoints conflict on some block.
+
+    A conflict means the two tasks share a block with at least one of
+    them writing it (RAW, WAR or WAW) — the edges the happens-before
+    proof genuinely depends on, as opposed to ``extra_deps`` wiring.
+    """
+    out: list[tuple[int, int]] = []
+    for v in range(len(graph.tasks)):
+        tv = graph.tasks[v]
+        for u in graph.preds[v]:
+            tu = graph.tasks[u]
+            if (
+                (tu.writes & tv.writes)
+                or (tu.writes & tv.reads)
+                or (tu.reads & tv.writes)
+            ):
+                out.append((u, v))
+    return out
+
+
+def essential_conflict_edges(graph: TaskGraph) -> list[tuple[int, int]]:
+    """Conflict edges not covered by any alternate happens-before path.
+
+    Dropping such an edge *must* leave its endpoints unordered, so the
+    race detector must flag the pair — these are the valid targets for
+    the edge-drop mutation.  (Transitively redundant edges are skipped:
+    removing one changes nothing observable.)
+    """
+    anc = ancestor_masks(graph)
+    out: list[tuple[int, int]] = []
+    for u, v in conflict_edges(graph):
+        covered = any(
+            w != u and has_path(anc, u, w) for w in graph.preds[v]
+        )
+        if not covered:
+            out.append((u, v))
+    return out
+
+
+def drop_edge(graph: TaskGraph, u: int, v: int) -> TaskGraph:
+    """A copy of *graph* without the ``u -> v`` edge.
+
+    Tasks (and their closures/metadata) are shared with the original;
+    only the adjacency is rebuilt, so the mutant is cheap and the
+    original stays intact.
+    """
+    if v not in graph.succs[u]:
+        raise ValueError(f"graph {graph.name!r} has no edge {u} -> {v}")
+    mutant = TaskGraph(f"{graph.name}~drop({u}->{v})")
+    mutant.tasks = list(graph.tasks)
+    mutant.succs = [[s for s in ss if not (t == u and s == v)] for t, ss in enumerate(graph.succs)]
+    mutant.preds = [[p for p in ps if not (t == v and p == u)] for t, ps in enumerate(graph.preds)]
+    return mutant
+
+
+def pick_droppable_edge(graph: TaskGraph, seed: int = 0) -> tuple[int, int]:
+    """A seeded-random essential conflict edge of *graph*.
+
+    Raises ``ValueError`` when the graph has none (then every conflict
+    edge is transitively covered and the mutation test is vacuous).
+    """
+    edges = essential_conflict_edges(graph)
+    if not edges:
+        raise ValueError(f"graph {graph.name!r} has no essential conflict edge to drop")
+    rng = np.random.default_rng(seed)
+    return edges[int(rng.integers(len(edges)))]

@@ -188,3 +188,91 @@ def test_property_tracker_serializes_conflicting_writes(data):
             conflict = (wi & wj) or (wi & rj) or (ri & wj)
             if conflict:
                 assert j in reach[i], f"conflicting tasks {i},{j} not ordered"
+
+
+class TestFootprint:
+    def test_footprint_accumulates(self):
+        t = BlockTracker()
+        g = TaskGraph()
+        a = t.add_task(g, "a", TaskKind.S, cost(), reads=[(0, 0)], writes=[(1, 0)])
+        reads, writes = t.footprint(a)
+        assert reads == frozenset({(0, 0)})
+        assert writes == frozenset({(1, 0)})
+
+    def test_footprint_merges_repeat_commits(self):
+        t = BlockTracker()
+        t.commit(0, reads=[(0, 0)])
+        t.commit(0, reads=[(0, 1)], writes=[(2, 2)])
+        assert t.footprint(0) == (frozenset({(0, 0), (0, 1)}), frozenset({(2, 2)}))
+
+    def test_unknown_tid_raises(self):
+        with pytest.raises(KeyError):
+            BlockTracker().footprint(99)
+
+    def test_known_tids_sorted(self):
+        t = BlockTracker()
+        t.commit(5, writes=[(0, 0)])
+        t.commit(2, reads=[(0, 0)])
+        assert t.known_tids() == [2, 5]
+
+    def test_add_task_mirrors_footprint_into_meta(self):
+        t = BlockTracker()
+        g = TaskGraph()
+        a = t.add_task(g, "a", TaskKind.S, cost(), reads=[(0, 0)], writes=[(1, 0)])
+        task = g.tasks[a]
+        assert task.reads == frozenset({(0, 0)})
+        assert task.writes == frozenset({(1, 0)})
+        assert task.has_footprint
+
+    def test_graph_add_accepts_meta_footprint(self):
+        # Builders with hand-wired deps (e.g. CALU's leftswaps) declare
+        # their footprint directly through graph.add meta kwargs.
+        g = TaskGraph()
+        a = g.add(
+            "a",
+            TaskKind.X,
+            cost(),
+            reads=frozenset({(0, 0)}),
+            writes=frozenset({(1, 0)}),
+        )
+        assert g.tasks[a].reads == frozenset({(0, 0)})
+        assert g.tasks[a].writes == frozenset({(1, 0)})
+        assert g.tasks[a].has_footprint
+
+    def test_plain_task_has_no_footprint(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.S, cost())
+        assert not g.tasks[a].has_footprint
+        assert g.tasks[a].reads == frozenset()
+        assert g.tasks[a].writes == frozenset()
+
+
+class TestToDot:
+    def test_escapes_quotes_and_backslashes(self):
+        g = TaskGraph('g"ra\\ph')
+        g.add('t "quoted" \\slash', TaskKind.P, cost())
+        dot = g.to_dot()
+        assert '"g\\"ra\\\\ph"' in dot
+        assert 'label="t \\"quoted\\" \\\\slash"' in dot
+
+    def test_deterministic_edge_order(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.P, cost())
+        b = g.add("b", TaskKind.S, cost(), deps=[a])
+        c = g.add("c", TaskKind.S, cost(), deps=[a])
+        g.succs[a] = [c, b]  # scramble; to_dot must sort
+        dot = g.to_dot()
+        assert dot.index("t0 -> t1") < dot.index("t0 -> t2")
+
+    def test_stable_across_calls(self):
+        g = TaskGraph("same")
+        a = g.add("a", TaskKind.P, cost())
+        g.add("b", TaskKind.S, cost(), deps=[a])
+        assert g.to_dot() == g.to_dot()
+
+    def test_max_tasks_guard(self):
+        g = TaskGraph()
+        for i in range(5):
+            g.add(f"t{i}", TaskKind.P, cost())
+        with pytest.raises(ValueError, match="max_tasks"):
+            g.to_dot(max_tasks=3)

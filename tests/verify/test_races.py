@@ -1,0 +1,105 @@
+"""Static race detector: happens-before proofs and counterexamples."""
+
+from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.task import Cost, TaskKind
+from repro.verify.races import block_accesses, check_races
+
+
+def cost():
+    return Cost("laswp")
+
+
+def add(g, name, deps=(), reads=(), writes=(), fn=None):
+    return g.add(
+        name,
+        TaskKind.X,
+        cost(),
+        fn=fn,
+        deps=deps,
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+    )
+
+
+class TestCheckRaces:
+    def test_ordered_pair_is_clean(self):
+        g = TaskGraph()
+        a = add(g, "w1", writes=[(0, 0)])
+        add(g, "w2", deps=[a], writes=[(0, 0)])
+        assert check_races(g) == []
+
+    def test_transitive_order_suffices(self):
+        g = TaskGraph()
+        a = add(g, "w1", writes=[(0, 0)])
+        b = add(g, "mid", deps=[a])
+        add(g, "w2", deps=[b], writes=[(0, 0)])
+        assert check_races(g) == []
+
+    def test_unordered_waw_reported(self):
+        g = TaskGraph()
+        a = add(g, "w1", writes=[(0, 0)])
+        b = add(g, "w2", writes=[(0, 0)])
+        findings = check_races(g)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "race" and f.severity == "error"
+        assert f.tasks == (a, b)
+        assert f.block == (0, 0)
+        assert "WAW" in f.message
+
+    def test_unordered_raw_reported(self):
+        g = TaskGraph()
+        add(g, "w", writes=[(1, 1)])
+        add(g, "r", reads=[(1, 1)])
+        findings = check_races(g)
+        assert len(findings) == 1
+        assert "RAW/WAR" in findings[0].message
+
+    def test_readers_do_not_conflict(self):
+        g = TaskGraph()
+        add(g, "r1", reads=[(0, 0)])
+        add(g, "r2", reads=[(0, 0)])
+        assert check_races(g) == []
+
+    def test_pair_aggregated_across_blocks(self):
+        g = TaskGraph()
+        add(g, "w1", writes=[(0, 0), (0, 1), (1, 0), (1, 1)])
+        add(g, "w2", writes=[(0, 0), (0, 1), (1, 0), (1, 1)])
+        findings = check_races(g)
+        assert len(findings) == 1
+        assert "+1 more" in findings[0].message
+
+    def test_opaque_numeric_task_warned(self):
+        g = TaskGraph()
+        g.add("blind", TaskKind.X, cost(), fn=lambda: None)
+        findings = check_races(g)
+        assert [f.rule for f in findings] == ["opaque-task"]
+        assert findings[0].severity == "warning"
+
+    def test_symbolic_task_without_footprint_ok(self):
+        g = TaskGraph()
+        g.add("sym", TaskKind.X, cost())
+        assert check_races(g) == []
+
+    def test_tracker_built_graph_is_race_free(self):
+        g = TaskGraph()
+        tr = BlockTracker()
+        for i in range(6):
+            tr.add_task(
+                g,
+                f"t{i}",
+                TaskKind.S,
+                cost(),
+                reads=[(i % 2, 0)],
+                writes=[(i % 3, 1)],
+            )
+        assert check_races(g) == []
+
+
+class TestBlockAccesses:
+    def test_partitions_readers_and_writers(self):
+        g = TaskGraph()
+        a = add(g, "w", writes=[(0, 0)])
+        b = add(g, "r", deps=[a], reads=[(0, 0)])
+        acc = block_accesses(g)
+        assert acc[(0, 0)] == ([b], [a])

@@ -1,0 +1,79 @@
+"""Reachability primitives: ancestor masks and cycle extraction."""
+
+import pytest
+
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import Cost, TaskKind
+from repro.verify.reach import ancestor_masks, find_cycle, has_path
+
+
+def cost():
+    return Cost("laswp")
+
+
+def chain(n):
+    g = TaskGraph("chain")
+    prev = None
+    for i in range(n):
+        prev = g.add(f"t{i}", TaskKind.X, cost(), deps=[] if prev is None else [prev])
+    return g
+
+
+class TestAncestorMasks:
+    def test_chain_transitive(self):
+        g = chain(5)
+        anc = ancestor_masks(g)
+        for u in range(5):
+            for v in range(5):
+                assert has_path(anc, u, v) == (u < v)
+
+    def test_diamond(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.X, cost())
+        b = g.add("b", TaskKind.X, cost(), deps=[a])
+        c = g.add("c", TaskKind.X, cost(), deps=[a])
+        d = g.add("d", TaskKind.X, cost(), deps=[b, c])
+        anc = ancestor_masks(g)
+        assert has_path(anc, a, d)
+        assert not has_path(anc, b, c)
+        assert not has_path(anc, c, b)
+        assert not has_path(anc, d, a)
+
+    def test_no_self_path(self):
+        g = chain(3)
+        anc = ancestor_masks(g)
+        assert not any(has_path(anc, t, t) for t in range(3))
+
+    def test_cyclic_graph_raises(self):
+        g = chain(3)
+        g.succs[2].append(0)
+        g.preds[0].append(2)
+        with pytest.raises(ValueError):
+            ancestor_masks(g)
+
+
+class TestFindCycle:
+    def test_dag_returns_none(self):
+        assert find_cycle(chain(4)) is None
+
+    def test_minimal_witness(self):
+        # A long cycle 0->1->2->3->0 plus a short one 4->5->4: the
+        # witness must be the 2-cycle, the minimal set to inspect.
+        g = TaskGraph()
+        for i in range(6):
+            g.add(f"t{i}", TaskKind.X, cost())
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 4)]:
+            g.succs[u].append(v)
+            g.preds[v].append(u)
+        witness = find_cycle(g)
+        assert witness is not None
+        assert sorted(witness) == [4, 5]
+
+    def test_witness_is_a_cycle(self):
+        g = chain(4)
+        g.succs[3].append(1)
+        g.preds[1].append(3)
+        witness = find_cycle(g)
+        assert witness is not None
+        for a, b in zip(witness, witness[1:] + witness[:1]):
+            assert b in g.succs[a]
