@@ -2,6 +2,9 @@
 
 * reduction-tree shape (binary / flat / hybrid) for TSQR;
 * scheduler look-ahead depth (0 / 1 / infinite) for square CALU;
+* streaming look-ahead depth d in {0, 1, 2}: numeric threaded runs
+  through the process-default knob (priorities.lookahead_depth), which
+  also bounds the streamed graph window;
 * per-task scheduling-overhead sensitivity vs block size (the paper's
   "too many tasks" caveat);
 * pivoting-strategy stability (tournament vs partial vs incremental).
@@ -9,6 +12,7 @@
 
 from repro.bench.experiments import (
     lookahead_ablation,
+    lookahead_depth_ablation,
     overhead_ablation,
     stability,
     tree_ablation,
@@ -30,6 +34,21 @@ def test_lookahead_ablation(benchmark, save_result):
     save_result("ablation_lookahead", t.format())
     for n in t.row_labels:
         assert t.cell(n, "lookahead=1") >= 0.95 * t.cell(n, "lookahead=0")
+
+
+def test_lookahead_depth_ablation(benchmark, save_result):
+    t = benchmark.pedantic(lookahead_depth_ablation, rounds=1, iterations=1)
+    save_result("ablation_lookahead_depth", t.format())
+    # The emitted-ahead window (hence the scheduler working set) widens
+    # monotonically with d; CALU's window sizes shrink with K, so the
+    # peak is the initial d+2-window emission.
+    live = t.column("peak live tasks")
+    assert (live[:-1] <= live[1:]).all()
+    assert live[0] < live[-1]
+    # All depths stay in the same performance regime (no pathological
+    # serialization at d=0 or runaway overhead at d=2).
+    secs = t.column("seconds")
+    assert secs.max() <= 2.5 * secs.min()
 
 
 def test_overhead_ablation(benchmark, save_result):

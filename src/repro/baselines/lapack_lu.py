@@ -22,9 +22,16 @@ from repro.core.layout import BlockLayout
 from repro.core.priorities import task_priority
 from repro.kernels.lu import getf2, getrf
 from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.program import GraphProgram
 from repro.runtime.task import Cost, TaskKind
 
-__all__ = ["getf2_lu", "getrf_lu", "build_getf2_graph", "build_getrf_graph"]
+__all__ = [
+    "getf2_lu",
+    "getrf_lu",
+    "build_getf2_graph",
+    "build_getrf_graph",
+    "getrf_program",
+]
 
 
 def getf2_lu(A: np.ndarray, overwrite: bool = False) -> tuple[np.ndarray, np.ndarray]:
@@ -63,7 +70,7 @@ def build_getf2_graph(m: int, n: int, library: str = "mkl") -> TaskGraph:
     return graph
 
 
-def build_getrf_graph(
+def getrf_program(
     m: int,
     n: int,
     b: int = 64,
@@ -72,10 +79,10 @@ def build_getrf_graph(
     lookahead: int = 0,
     panel_kernel: str = "getrf_panel",
     fork_join: bool = True,
-) -> TaskGraph:
-    """Fork-join blocked LU task graph (the ``dgetrf`` baseline).
+) -> GraphProgram:
+    """Fork-join blocked LU as a streaming program (``dgetrf`` baseline).
 
-    Per iteration: one sequential panel task (default kernel
+    One window per iteration: one sequential panel task (default kernel
     ``getrf_panel``: an internally blocked vendor panel, better than
     raw BLAS2 ``getf2`` but still serial and on the critical path),
     then per trailing block column a pivot-apply + ``trsm`` task and
@@ -83,11 +90,12 @@ def build_getrf_graph(
     dimensions, so the update scales; only the panel is serial).
     """
     layout = BlockLayout(m, n, b)
-    graph = TaskGraph(f"getrf{m}x{n}b{b}")
-    tracker = BlockTracker()
     N = layout.N
     prev_iter_tasks: list[int] = []
-    for K in range(layout.n_panels):
+
+    def emit(window: int, graph: TaskGraph, tracker: BlockTracker) -> None:
+        nonlocal prev_iter_tasks
+        K = window
         k0 = K * b
         bk = layout.panel_width(K)
         rows_active = m - k0
@@ -160,4 +168,30 @@ def build_getrf_graph(
                     iteration=K,
                 )
                 prev_iter_tasks.append(s_tid)
-    return graph
+
+    return GraphProgram(
+        f"getrf{m}x{n}b{b}", layout.n_panels, emit, lookahead=lookahead
+    )
+
+
+def build_getrf_graph(
+    m: int,
+    n: int,
+    b: int = 64,
+    row_chunks: int = 8,
+    library: str = "mkl",
+    lookahead: int = 0,
+    panel_kernel: str = "getrf_panel",
+    fork_join: bool = True,
+) -> TaskGraph:
+    """Eagerly materialized :func:`getrf_program` (historical interface)."""
+    return getrf_program(
+        m,
+        n,
+        b,
+        row_chunks=row_chunks,
+        library=library,
+        lookahead=lookahead,
+        panel_kernel=panel_kernel,
+        fork_join=fork_join,
+    ).materialize()

@@ -17,9 +17,16 @@ from repro.core.layout import BlockLayout
 from repro.core.priorities import task_priority
 from repro.kernels.qr import geqr2, geqrf
 from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.program import GraphProgram
 from repro.runtime.task import Cost, TaskKind
 
-__all__ = ["geqr2_qr", "geqrf_qr", "build_geqr2_graph", "build_geqrf_graph"]
+__all__ = [
+    "geqr2_qr",
+    "geqrf_qr",
+    "build_geqr2_graph",
+    "build_geqrf_graph",
+    "geqrf_program",
+]
 
 
 def geqr2_qr(A: np.ndarray, overwrite: bool = False) -> tuple[np.ndarray, np.ndarray]:
@@ -60,7 +67,7 @@ def build_geqr2_graph(m: int, n: int, library: str = "mkl") -> TaskGraph:
     return graph
 
 
-def build_geqrf_graph(
+def geqrf_program(
     m: int,
     n: int,
     b: int = 64,
@@ -68,19 +75,20 @@ def build_geqrf_graph(
     lookahead: int = 0,
     panel_kernel: str = "geqrf_panel",
     fork_join: bool = True,
-) -> TaskGraph:
-    """Fork-join blocked QR task graph (the ``dgeqrf`` baseline).
+) -> GraphProgram:
+    """Fork-join blocked QR as a streaming program (``dgeqrf`` baseline).
 
-    Per iteration: one sequential panel task (``geqr2`` + ``larft``
-    class), then one full-height ``larfb`` task per trailing block
-    column — the update cannot be row-chunked.
+    One window per iteration: one sequential panel task (``geqr2`` +
+    ``larft`` class), then one full-height ``larfb`` task per trailing
+    block column — the update cannot be row-chunked.
     """
     layout = BlockLayout(m, n, b)
-    graph = TaskGraph(f"geqrf{m}x{n}b{b}")
-    tracker = BlockTracker()
     N = layout.N
     prev_iter_tasks: list[int] = []
-    for K in range(layout.n_panels):
+
+    def emit(window: int, graph: TaskGraph, tracker: BlockTracker) -> None:
+        nonlocal prev_iter_tasks
+        K = window
         k0 = K * b
         bk = layout.panel_width(K)
         rows_active = m - k0
@@ -125,4 +133,28 @@ def build_geqrf_graph(
                 iteration=K,
             )
             prev_iter_tasks.append(s_tid)
-    return graph
+
+    return GraphProgram(
+        f"geqrf{m}x{n}b{b}", layout.n_panels, emit, lookahead=lookahead
+    )
+
+
+def build_geqrf_graph(
+    m: int,
+    n: int,
+    b: int = 64,
+    library: str = "mkl",
+    lookahead: int = 0,
+    panel_kernel: str = "geqrf_panel",
+    fork_join: bool = True,
+) -> TaskGraph:
+    """Eagerly materialized :func:`geqrf_program` (historical interface)."""
+    return geqrf_program(
+        m,
+        n,
+        b,
+        library=library,
+        lookahead=lookahead,
+        panel_kernel=panel_kernel,
+        fork_join=fork_join,
+    ).materialize()

@@ -31,9 +31,10 @@ from repro.kernels.blas import gemm, laswp, trsm_llnu
 from repro.kernels.lu import getf2
 from repro.kernels.structured import TstrfOps, ssssm_apply, tstrf
 from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.program import GraphProgram
 from repro.runtime.task import Cost, TaskKind
 
-__all__ = ["TiledLU", "tiled_lu", "build_tiled_lu_graph"]
+__all__ = ["TiledLU", "tiled_lu", "build_tiled_lu_graph", "tiled_lu_program"]
 
 
 @dataclass
@@ -138,19 +139,20 @@ def tiled_lu(A: np.ndarray, nb: int = 64, overwrite: bool = False) -> TiledLU:
     return out
 
 
-def build_tiled_lu_graph(
+def tiled_lu_program(
     m: int,
     n: int,
     nb: int = 200,
     library: str = "plasma",
     lookahead: int = 1,
-) -> TaskGraph:
-    """Symbolic task graph of PLASMA tiled LU for the simulator."""
+) -> GraphProgram:
+    """Symbolic PLASMA tiled LU as a streaming program (one window per
+    tile column) for the simulator."""
     lay = BlockLayout(m, n, nb)
-    graph = TaskGraph(f"tiled_lu{m}x{n}nb{nb}")
-    tracker = BlockTracker()
     N = lay.N
-    for k in range(lay.n_panels):
+
+    def emit(window: int, graph: TaskGraph, tracker: BlockTracker) -> None:
+        k = window
         rk = lay.row_range(k)[1] - lay.row_range(k)[0]
         ck = lay.col_range(k)[1] - lay.col_range(k)[0]
         tracker.add_task(
@@ -232,4 +234,18 @@ def build_tiled_lu_graph(
                     iteration=k,
                     col=j,
                 )
-    return graph
+
+    return GraphProgram(
+        f"tiled_lu{m}x{n}nb{nb}", lay.n_panels, emit, lookahead=lookahead
+    )
+
+
+def build_tiled_lu_graph(
+    m: int,
+    n: int,
+    nb: int = 200,
+    library: str = "plasma",
+    lookahead: int = 1,
+) -> TaskGraph:
+    """Eagerly materialized :func:`tiled_lu_program` (historical interface)."""
+    return tiled_lu_program(m, n, nb, library=library, lookahead=lookahead).materialize()

@@ -28,9 +28,10 @@ from repro.core.priorities import task_priority
 from repro.kernels.qr import extract_v, geqr2, larfb_left_t, larft
 from repro.kernels.structured import tpmqrt_left_t, tpqrt
 from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.program import GraphProgram
 from repro.runtime.task import Cost, TaskKind
 
-__all__ = ["TiledQR", "tiled_qr", "build_tiled_qr_graph"]
+__all__ = ["TiledQR", "tiled_qr", "build_tiled_qr_graph", "tiled_qr_program"]
 
 
 @dataclass
@@ -149,19 +150,20 @@ def tiled_qr(A: np.ndarray, nb: int = 64, overwrite: bool = False) -> TiledQR:
     return out
 
 
-def build_tiled_qr_graph(
+def tiled_qr_program(
     m: int,
     n: int,
     nb: int = 200,
     library: str = "plasma",
     lookahead: int = 1,
-) -> TaskGraph:
-    """Symbolic task graph of PLASMA tiled QR for the simulator."""
+) -> GraphProgram:
+    """Symbolic PLASMA tiled QR as a streaming program (one window per
+    tile column) for the simulator."""
     lay = BlockLayout(m, n, nb)
-    graph = TaskGraph(f"tiled_qr{m}x{n}nb{nb}")
-    tracker = BlockTracker()
     N = lay.N
-    for k in range(lay.n_panels):
+
+    def emit(window: int, graph: TaskGraph, tracker: BlockTracker) -> None:
+        k = window
         rk = lay.row_range(k)[1] - lay.row_range(k)[0]
         ck = lay.col_range(k)[1] - lay.col_range(k)[0]
         tracker.add_task(
@@ -242,4 +244,18 @@ def build_tiled_qr_graph(
                     iteration=k,
                     col=j,
                 )
-    return graph
+
+    return GraphProgram(
+        f"tiled_qr{m}x{n}nb{nb}", lay.n_panels, emit, lookahead=lookahead
+    )
+
+
+def build_tiled_qr_graph(
+    m: int,
+    n: int,
+    nb: int = 200,
+    library: str = "plasma",
+    lookahead: int = 1,
+) -> TaskGraph:
+    """Eagerly materialized :func:`tiled_qr_program` (historical interface)."""
+    return tiled_qr_program(m, n, nb, library=library, lookahead=lookahead).materialize()

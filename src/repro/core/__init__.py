@@ -9,12 +9,13 @@
     look-ahead priorities.
 """
 
-from repro.core.calu import CALUFactorization, build_calu_graph, calu
-from repro.core.caqr import CAQRFactorization, build_caqr_graph, caqr
+from repro.core.calu import CALUFactorization, build_calu_graph, calu, calu_program
+from repro.core.caqr import CAQRFactorization, build_caqr_graph, caqr, caqr_program
 from repro.core.layout import BlockLayout
+from repro.core.priorities import lookahead_depth
 from repro.core.trees import TreeKind, reduction_schedule
-from repro.core.tslu import tslu
-from repro.core.tsqr import TSQRFactorization, tsqr
+from repro.core.tslu import tslu, tslu_program
+from repro.core.tsqr import TSQRFactorization, tsqr, tsqr_program
 
 __all__ = [
     "BlockLayout",
@@ -25,8 +26,13 @@ __all__ = [
     "build_calu_graph",
     "build_caqr_graph",
     "calu",
+    "calu_program",
     "caqr",
+    "caqr_program",
+    "lookahead_depth",
     "reduction_schedule",
     "tslu",
+    "tslu_program",
     "tsqr",
+    "tsqr_program",
 ]

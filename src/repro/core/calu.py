@@ -28,7 +28,7 @@ import scipy.linalg
 
 from repro.analysis.flops import gemm_flops, trsm_left_flops, trsm_right_flops
 from repro.core.layout import BlockLayout, Chunk
-from repro.core.priorities import task_priority
+from repro.core.priorities import lookahead_depth, task_priority
 from repro.core.trees import TreeKind
 from repro.core.tslu import PanelWorkspace, add_tslu_tasks
 from repro.kernels.blas import gemm, laswp, trsm_llnu, trsm_runn
@@ -39,11 +39,12 @@ from repro.resilience.events import ResilienceEvent
 from repro.resilience.health import finite_block_guard, validate_matrix
 from repro.resilience.recovery import RuntimeFailure
 from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.program import GraphProgram, supports_streaming
 from repro.runtime.task import Cost, TaskKind
 from repro.runtime.threaded import ThreadedExecutor
 from repro.runtime.trace import Trace
 
-__all__ = ["CALUFactorization", "build_calu_graph", "calu", "merged_chunks"]
+__all__ = ["CALUFactorization", "build_calu_graph", "calu", "calu_program", "merged_chunks"]
 
 
 def merged_chunks(layout: BlockLayout, K: int, tr: int) -> list[Chunk]:
@@ -174,13 +175,13 @@ def _ckpt_guard(K: int, name: str):
     return guard
 
 
-def build_calu_graph(
+def calu_program(
     layout: BlockLayout,
     tr: int,
     tree: TreeKind = TreeKind.BINARY,
     *,
     A: np.ndarray | None = None,
-    lookahead: int = 1,
+    lookahead: int | None = None,
     library: str = "repro",
     leaf_kernel: str = "rgetf2",
     arity: int = 4,
@@ -190,13 +191,23 @@ def build_calu_graph(
     checkpoint=None,
     abft: bool = False,
     recompute: bool = True,
-) -> tuple[TaskGraph, list[PanelWorkspace]]:
-    """Build the CALU task graph for *layout*.
+) -> tuple[GraphProgram, list[PanelWorkspace]]:
+    """Build the CALU task graph as a streaming :class:`GraphProgram`.
+
+    The program has one window per panel iteration ``K`` (TSLU
+    tournament, L, U, S and optional ``C[K]`` checkpoint tasks) plus an
+    epilogue window holding the deferred left-swap task.  Windows are
+    emitted incrementally as predecessors complete — graph construction
+    stays off the critical path and the scheduler's live set is bounded
+    by the look-ahead window — and ``materialize()`` reproduces the old
+    eager graph task-for-task and edge-for-edge (the emission order is
+    exactly the old builder's loop order).
 
     With ``A`` given (an ``m x n`` array factored in place), tasks
     carry numeric closures; with ``A=None`` the graph is symbolic and
     only carries costs (used to simulate paper-scale problems).
-    Returns ``(graph, per-panel workspaces)``.
+    Returns ``(program, per-panel workspaces)``; the workspace list
+    fills as panel windows are emitted.
 
     With *guards* (the default, numeric runs only) the TSLU tasks carry
     corruption detectors that trigger the partial-pivoting fallback,
@@ -222,18 +233,24 @@ def build_calu_graph(
     place.  *recompute* enables the TSLU tournament-replay rung of the
     recovery ladder (see :func:`repro.core.tslu.add_tslu_tasks`).
     """
-    graph = TaskGraph(f"calu{layout.m}x{layout.n}b{layout.b}tr{tr}")
-    tracker = BlockTracker()
     numeric = A is not None
     m, n, b, N = layout.m, layout.n, layout.b, layout.N
     upd_lib = update_library or library
     if update_width is not None and update_width < b:
         raise ValueError(f"update_width B={update_width} must be >= b={b}")
+    if lookahead is None:
+        lookahead = lookahead_depth()
     guards = guards and numeric
     absmax = float(np.abs(A).max()) if guards and A.size else None
     workspaces: list[PanelWorkspace] = []
+    n_panels = layout.n_panels
+    n_windows = n_panels + (1 if n_panels > 1 else 0)
 
-    for K in range(layout.n_panels):
+    def emit(window: int, graph: TaskGraph, tracker: BlockTracker) -> None:
+        if window >= n_panels:
+            _emit_epilogue(graph)
+            return
+        K = window
         c0, c1 = K * b, K * b + layout.panel_width(K)
         bk = c1 - c0
         k0 = K * b
@@ -416,9 +433,11 @@ def build_calu_graph(
                 health=_ckpt_guard(K, ck_name),
             )
 
-    # Deferred left swaps (Algorithm 1 line 41).  Depends on all sinks,
-    # i.e. transitively on the entire factorization.
-    if layout.n_panels > 1:
+    def _emit_epilogue(graph: TaskGraph) -> None:
+        # Deferred left swaps (Algorithm 1 line 41).  Depends on all
+        # sinks, i.e. transitively on the entire factorization.  Window
+        # ordering guarantees every panel window is already emitted, so
+        # the sink set matches the eager builder's exactly.
         sinks = [t for t in range(len(graph.tasks)) if not graph.succs[t]]
         swap_words = 2.0 * sum(
             K * b * layout.panel_width(K) for K in range(1, layout.n_panels)
@@ -444,7 +463,56 @@ def build_calu_graph(
             reads=swap_reads,
             writes=swap_blocks,
         )
-    return graph, workspaces
+
+    program = GraphProgram(
+        f"calu{layout.m}x{layout.n}b{layout.b}tr{tr}",
+        n_windows,
+        emit,
+        lookahead=lookahead,
+    )
+    return program, workspaces
+
+
+def build_calu_graph(
+    layout: BlockLayout,
+    tr: int,
+    tree: TreeKind = TreeKind.BINARY,
+    *,
+    A: np.ndarray | None = None,
+    lookahead: int | None = None,
+    library: str = "repro",
+    leaf_kernel: str = "rgetf2",
+    arity: int = 4,
+    update_width: int | None = None,
+    update_library: str | None = None,
+    guards: bool = True,
+    checkpoint=None,
+    abft: bool = False,
+    recompute: bool = True,
+) -> tuple[TaskGraph, list[PanelWorkspace]]:
+    """Build the complete (eager) CALU task graph for *layout*.
+
+    Materializes :func:`calu_program` up front — the historical
+    interface, still what the verify/DOT/analysis tooling consumes.
+    See :func:`calu_program` for the parameters.
+    """
+    program, workspaces = calu_program(
+        layout,
+        tr,
+        tree,
+        A=A,
+        lookahead=lookahead,
+        library=library,
+        leaf_kernel=leaf_kernel,
+        arity=arity,
+        update_width=update_width,
+        update_library=update_library,
+        guards=guards,
+        checkpoint=checkpoint,
+        abft=abft,
+        recompute=recompute,
+    )
+    return program.materialize(), workspaces
 
 
 @dataclass
@@ -532,7 +600,7 @@ def calu(
     tr: int = 4,
     tree: TreeKind = TreeKind.BINARY,
     executor=None,
-    lookahead: int = 1,
+    lookahead: int | None = None,
     leaf_kernel: str = "rgetf2",
     overwrite: bool = False,
     update_width: int | None = None,
@@ -553,7 +621,11 @@ def calu(
     executor : a runtime executor; defaults to a
         :class:`~repro.runtime.threaded.ThreadedExecutor` with
         ``min(tr, 4)`` workers.
-    lookahead : scheduling look-ahead depth (paper: 1).
+    lookahead : scheduling look-ahead depth (paper: 1); ``None`` uses
+        the process default
+        (:func:`repro.core.priorities.lookahead_depth`).  Also bounds
+        how many panel windows the streaming program keeps emitted
+        ahead of the lowest incomplete one.
     leaf_kernel : sequential kernel at tournament leaves
         (``"rgetf2"``, the paper's choice, or ``"getf2"``).
     overwrite : allow factoring ``A`` in place.
@@ -589,7 +661,7 @@ def calu(
     if b is None:
         b = min(100, n)
     layout = BlockLayout(m, n, b)
-    graph, workspaces = build_calu_graph(
+    program, workspaces = calu_program(
         layout,
         tr,
         tree,
@@ -602,6 +674,13 @@ def calu(
         abft=abft,
         recompute=tournament_recompute,
     )
+    if executor is None:
+        executor = ThreadedExecutor(min(tr, 4))
+    # Engine-backed executors consume the streaming program directly,
+    # keeping graph construction off the critical path; a caller-made
+    # (duck-typed) executor gets the materialized eager graph, which is
+    # the historical contract.
+    source = program if supports_streaming(executor) else program.materialize()
     journal = None
     if checkpoint is not None:
         import zlib
@@ -628,8 +707,12 @@ def calu(
         # snapshots are taken before it, so it must always re-run.
         journal = checkpoint.journal()
         journal.reset()
-        journal.bind(graph)
+        journal.bind(source)
         if resumed_from >= 0:
+            # Window K holds every task of iteration K, so emitting
+            # through the resumed boundary makes the whole journaled
+            # prefix enumerable (no-op on the eager path).
+            program.emit_through(resumed_from)
             for snap in snaps.values():
                 for key, val in snap.items():
                     if key.startswith("piv"):
@@ -640,15 +723,13 @@ def calu(
                         ws.recomputed = bool(val[1])
             journal.mark_completed(
                 t.name
-                for t in graph.tasks
+                for t in program.graph.tasks
                 if t.iteration <= resumed_from and t.name != "leftswaps"
             )
-    if executor is None:
-        executor = ThreadedExecutor(min(tr, 4))
     plan = getattr(executor, "fault_plan", None)
     if plan is not None and plan.target is None:
         plan.target = A
-    trace = executor.run(graph, journal=journal) if journal is not None else executor.run(graph)
+    trace = executor.run(source, journal=journal) if journal is not None else executor.run(source)
     if guards and not np.isfinite(A).all():
         # Last line of defense: a corruption that landed outside every
         # guarded block (e.g. in an already-finished region) must still

@@ -25,7 +25,7 @@ import numpy as np
 from repro.analysis.flops import larfb_flops, tpmqrt_flops
 from repro.core.calu import merged_chunks
 from repro.core.layout import BlockLayout
-from repro.core.priorities import task_priority
+from repro.core.priorities import lookahead_depth, task_priority
 from repro.core.trees import TreeKind
 from repro.core.tsqr import PanelQRStore, add_tsqr_tasks
 from repro.kernels.qr import larfb_left_t
@@ -35,11 +35,12 @@ from repro.resilience.events import ResilienceEvent
 from repro.resilience.health import finite_block_guard, validate_matrix
 from repro.resilience.recovery import RuntimeFailure
 from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.program import GraphProgram, supports_streaming
 from repro.runtime.task import Cost, TaskKind
 from repro.runtime.threaded import ThreadedExecutor
 from repro.runtime.trace import Trace
 
-__all__ = ["CAQRFactorization", "build_caqr_graph", "caqr"]
+__all__ = ["CAQRFactorization", "build_caqr_graph", "caqr", "caqr_program"]
 
 
 def _leaf_update_fn(A: np.ndarray, store: PanelQRStore, slot: int, j0: int, j1: int):
@@ -103,40 +104,49 @@ def _ckpt_guard(K: int, name: str):
     return guard
 
 
-def build_caqr_graph(
+def caqr_program(
     layout: BlockLayout,
     tr: int,
     tree: TreeKind = TreeKind.FLAT,
     *,
     A: np.ndarray | None = None,
-    lookahead: int = 1,
+    lookahead: int | None = None,
     library: str = "repro_qr",
     leaf_kernel: str = "geqr3",
     arity: int = 4,
     guards: bool = True,
     checkpoint=None,
-) -> tuple[TaskGraph, list[PanelQRStore]]:
-    """Build the CAQR task graph; symbolic when ``A`` is None.
+) -> tuple[GraphProgram, list[PanelQRStore]]:
+    """Build the CAQR task graph as a streaming :class:`GraphProgram`.
 
-    Returns ``(graph, per-panel implicit-Q stores)``.  With *guards*
-    (numeric runs only) the panel tasks and trailing updates carry
-    finiteness health guards: QR has no partial-pivoting fallback, so a
-    corrupted panel surfaces as a fatal structured failure rather than
-    silently wrong factors.  *checkpoint* adds per-boundary ``C[K]``
-    snapshot tasks exactly as in :func:`repro.core.calu.build_calu_graph`.
+    One window per panel iteration (TSQR tree, leaf/node trailing
+    updates, optional ``C[K]`` checkpoint task); symbolic when ``A`` is
+    None.  ``materialize()`` reproduces the old eager graph exactly —
+    see :func:`repro.core.calu.calu_program` for the streaming
+    semantics.
+
+    Returns ``(program, per-panel implicit-Q stores)``; the store list
+    fills as panel windows are emitted.  With *guards* (numeric runs
+    only) the panel tasks and trailing updates carry finiteness health
+    guards: QR has no partial-pivoting fallback, so a corrupted panel
+    surfaces as a fatal structured failure rather than silently wrong
+    factors.  *checkpoint* adds per-boundary ``C[K]`` snapshot tasks
+    exactly as in :func:`repro.core.calu.build_calu_graph`.
     """
-    graph = TaskGraph(f"caqr{layout.m}x{layout.n}b{layout.b}tr{tr}")
-    tracker = BlockTracker()
     numeric = A is not None
     guards = guards and numeric
+    if lookahead is None:
+        lookahead = lookahead_depth()
     N = layout.N
     stores: list[PanelQRStore] = []
     # Per-panel symbolic footprint keys of the implicit-Q factors the
     # TSQR tasks deposit in the PanelQRStore (read back by the trailing
-    # updates and the checkpoint snapshots).
+    # updates and the checkpoint snapshots).  Accumulates across
+    # windows: a later C[K] task reads every covered panel's keys.
     panel_q_keys: list[list[tuple]] = []
 
-    for K in range(layout.n_panels):
+    def emit(window: int, graph: TaskGraph, tracker: BlockTracker) -> None:
+        K = window
         bk = layout.panel_width(K)
         chunks = merged_chunks(layout, K, tr)
         store = PanelQRStore() if numeric else None
@@ -292,7 +302,48 @@ def build_caqr_graph(
                 iteration=K,
                 health=_ckpt_guard(K, ck_name),
             )
-    return graph, stores
+
+    program = GraphProgram(
+        f"caqr{layout.m}x{layout.n}b{layout.b}tr{tr}",
+        layout.n_panels,
+        emit,
+        lookahead=lookahead,
+    )
+    return program, stores
+
+
+def build_caqr_graph(
+    layout: BlockLayout,
+    tr: int,
+    tree: TreeKind = TreeKind.FLAT,
+    *,
+    A: np.ndarray | None = None,
+    lookahead: int | None = None,
+    library: str = "repro_qr",
+    leaf_kernel: str = "geqr3",
+    arity: int = 4,
+    guards: bool = True,
+    checkpoint=None,
+) -> tuple[TaskGraph, list[PanelQRStore]]:
+    """Build the complete (eager) CAQR task graph for *layout*.
+
+    Materializes :func:`caqr_program` up front — the historical
+    interface, still what the verify/DOT/analysis tooling consumes.
+    See :func:`caqr_program` for the parameters.
+    """
+    program, stores = caqr_program(
+        layout,
+        tr,
+        tree,
+        A=A,
+        lookahead=lookahead,
+        library=library,
+        leaf_kernel=leaf_kernel,
+        arity=arity,
+        guards=guards,
+        checkpoint=checkpoint,
+    )
+    return program.materialize(), stores
 
 
 @dataclass
@@ -372,7 +423,7 @@ def caqr(
     tr: int = 4,
     tree: TreeKind = TreeKind.FLAT,
     executor=None,
-    lookahead: int = 1,
+    lookahead: int | None = None,
     leaf_kernel: str = "geqr3",
     overwrite: bool = False,
     check_finite: bool = True,
@@ -395,7 +446,7 @@ def caqr(
     if b is None:
         b = min(100, n)
     layout = BlockLayout(m, n, b)
-    graph, stores = build_caqr_graph(
+    program, stores = caqr_program(
         layout,
         tr,
         tree,
@@ -405,6 +456,11 @@ def caqr(
         guards=guards,
         checkpoint=checkpoint,
     )
+    if executor is None:
+        executor = ThreadedExecutor(min(tr, 4))
+    # Stream through engine-backed executors; materialize for
+    # caller-made (duck-typed) ones — the historical contract.
+    source = program if supports_streaming(executor) else program.materialize()
     journal = None
     if checkpoint is not None:
         import zlib
@@ -425,8 +481,11 @@ def caqr(
         )
         journal = checkpoint.journal()
         journal.reset()
-        journal.bind(graph)
+        journal.bind(source)
         if resumed_from >= 0:
+            # Emit the resumed prefix so its tasks are enumerable
+            # (no-op on the eager path).
+            program.emit_through(resumed_from)
             # Rebuild the covered panels' implicit-Q stores in place
             # (the task closures and the returned factorization share
             # the store objects).
@@ -447,14 +506,12 @@ def caqr(
                     stores[P].leaves.update(restored.leaves)
                     stores[P].merges[:] = restored.merges
             journal.mark_completed(
-                t.name for t in graph.tasks if t.iteration <= resumed_from
+                t.name for t in program.graph.tasks if t.iteration <= resumed_from
             )
-    if executor is None:
-        executor = ThreadedExecutor(min(tr, 4))
     plan = getattr(executor, "fault_plan", None)
     if plan is not None and plan.target is None:
         plan.target = A
-    trace = executor.run(graph, journal=journal) if journal is not None else executor.run(graph)
+    trace = executor.run(source, journal=journal) if journal is not None else executor.run(source)
     if guards and not np.isfinite(A).all():
         raise RuntimeFailure(
             "CAQR produced non-finite factors (undetected corruption)",

@@ -37,10 +37,11 @@ from repro.kernels.lu import getf2, getf2_nopiv, perm_from_piv_rows, piv_to_perm
 from repro.resilience.events import ResilienceEvent
 from repro.resilience.health import DEFAULT_GROWTH_LIMIT, validate_matrix
 from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.program import GraphProgram, supports_streaming
 from repro.runtime.task import Cost, TaskKind
 from repro.runtime.threaded import ThreadedExecutor
 
-__all__ = ["PanelWorkspace", "add_tslu_tasks", "tslu"]
+__all__ = ["PanelWorkspace", "add_tslu_tasks", "tslu", "tslu_program"]
 
 
 @dataclass
@@ -449,6 +450,65 @@ def add_tslu_tasks(
     return finalize
 
 
+def tslu_program(
+    A: np.ndarray,
+    tr: int = 4,
+    tree: TreeKind = TreeKind.BINARY,
+    *,
+    leaf_kernel: str = "rgetf2",
+) -> tuple[GraphProgram, PanelWorkspace]:
+    """Streaming program for one standalone TSLU panel.
+
+    Window 0 is the tournament (leaves + reduction tree + finalize),
+    window 1 the ``L`` triangular solves below the pivot block — so the
+    solves are not even created until the tournament is underway.
+    *A* must already be a float C-ordered tall array (``m >= n``); it
+    is factored in place.  Returns ``(program, panel workspace)``.
+    """
+    m, n = A.shape
+    layout = BlockLayout(m, n, b=n)
+    chunks = layout.panel_chunks(0, tr)
+    ws = PanelWorkspace()
+    from repro.kernels.blas import trsm_runn  # local to avoid cycle at import
+
+    def _l_fn(r0: int, r1: int):
+        def fn() -> None:
+            trsm_runn(A[:n, :], A[r0:r1, :])
+
+        return fn
+
+    def emit(window: int, graph: TaskGraph, tracker: BlockTracker) -> None:
+        if window == 0:
+            add_tslu_tasks(
+                graph, tracker, layout, 0, chunks, tree, A=A, ws=ws, leaf_kernel=leaf_kernel
+            )
+            return
+        # L tasks: the rows below the pivot block, one trsm per chunk.
+        for chunk in chunks:
+            r0 = max(chunk.r0, n)
+            if r0 >= chunk.r1:
+                continue
+            cost = Cost(
+                "trsm_runn",
+                m=chunk.r1 - r0,
+                k=n,
+                flops=trsm_right_flops(chunk.r1 - r0, n),
+                words=2.0 * (chunk.r1 - r0) * n,
+            )
+            tracker.add_task(
+                graph,
+                f"L[0]{chunk.index}",
+                TaskKind.L,
+                cost,
+                fn=_l_fn(r0, chunk.r1),
+                reads=[(0, 0)],
+                writes=chunk.blocks(0),
+                priority=task_priority("L", 0),
+            )
+
+    return GraphProgram(f"tslu{m}x{n}", 2, emit), ws
+
+
 def tslu(
     A: np.ndarray,
     tr: int = 4,
@@ -475,46 +535,10 @@ def tslu(
     m, n = A.shape
     if m < n:
         raise ValueError(f"tslu requires a tall panel (m >= n), got {A.shape}")
-    layout = BlockLayout(m, n, b=n)
-    chunks = layout.panel_chunks(0, tr)
-    graph = TaskGraph(f"tslu{m}x{n}")
-    tracker = BlockTracker()
-    ws = PanelWorkspace()
-    finalize = add_tslu_tasks(
-        graph, tracker, layout, 0, chunks, tree, A=A, ws=ws, leaf_kernel=leaf_kernel
-    )
-    # L tasks: the rows below the pivot block, one trsm per chunk.
-    from repro.kernels.blas import trsm_runn  # local to avoid cycle at import
-
-    def _l_fn(r0: int, r1: int):
-        def fn() -> None:
-            trsm_runn(A[:n, :], A[r0:r1, :])
-
-        return fn
-
-    for chunk in chunks:
-        r0 = max(chunk.r0, n)
-        if r0 >= chunk.r1:
-            continue
-        cost = Cost(
-            "trsm_runn",
-            m=chunk.r1 - r0,
-            k=n,
-            flops=trsm_right_flops(chunk.r1 - r0, n),
-            words=2.0 * (chunk.r1 - r0) * n,
-        )
-        tracker.add_task(
-            graph,
-            f"L[0]{chunk.index}",
-            TaskKind.L,
-            cost,
-            fn=_l_fn(r0, chunk.r1),
-            reads=[(0, 0)],
-            writes=chunk.blocks(0),
-            priority=task_priority("L", 0),
-        )
+    program, ws = tslu_program(A, tr, tree, leaf_kernel=leaf_kernel)
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
-    executor.run(graph)
+    source = program if supports_streaming(executor) else program.materialize()
+    executor.run(source)
     assert ws.piv is not None
     return A, ws.piv

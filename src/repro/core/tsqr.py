@@ -28,6 +28,7 @@ from repro.kernels.qr import extract_v, geqr2, geqr3, larfb_left_t, larft
 from repro.kernels.structured import tpqrt, tpmqrt_left_t
 from repro.resilience.health import validate_matrix
 from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.program import GraphProgram, supports_streaming
 from repro.runtime.task import Cost, TaskKind
 from repro.runtime.threaded import ThreadedExecutor
 
@@ -39,6 +40,7 @@ __all__ = [
     "add_tsqr_tasks",
     "TSQRFactorization",
     "tsqr",
+    "tsqr_program",
 ]
 
 
@@ -354,6 +356,34 @@ class TSQRFactorization:
         return scipy.linalg.solve_triangular(self.R, y[: self.n])
 
 
+def tsqr_program(
+    A: np.ndarray,
+    tr: int = 4,
+    tree: TreeKind = TreeKind.FLAT,
+    *,
+    leaf_kernel: str = "geqr3",
+) -> tuple[GraphProgram, PanelQRStore]:
+    """Streaming program for one standalone TSQR panel (one window
+    holding the leaf factorizations and the reduction-tree merges).
+
+    *A* must already be a float C-ordered tall array (``m >= n``); it
+    is factored in place.  Returns ``(program, implicit-Q store)``.
+    """
+    m, n = A.shape
+    layout = BlockLayout(m, n, b=n)
+    from repro.core.calu import merged_chunks  # shared chunk policy
+
+    chunks = merged_chunks(layout, 0, tr)
+    store = PanelQRStore()
+
+    def emit(window: int, graph: TaskGraph, tracker: BlockTracker) -> None:
+        add_tsqr_tasks(
+            graph, tracker, layout, 0, chunks, tree, A=A, store=store, leaf_kernel=leaf_kernel
+        )
+
+    return GraphProgram(f"tsqr{m}x{n}", 1, emit), store
+
+
 def tsqr(
     A: np.ndarray,
     tr: int = 4,
@@ -375,18 +405,10 @@ def tsqr(
     m, n = A.shape
     if m < n:
         raise ValueError(f"tsqr requires a tall panel (m >= n), got {A.shape}")
-    layout = BlockLayout(m, n, b=n)
-    from repro.core.calu import merged_chunks  # shared chunk policy
-
-    chunks = merged_chunks(layout, 0, tr)
-    graph = TaskGraph(f"tsqr{m}x{n}")
-    tracker = BlockTracker()
-    store = PanelQRStore()
-    add_tsqr_tasks(
-        graph, tracker, layout, 0, chunks, tree, A=A, store=store, leaf_kernel=leaf_kernel
-    )
+    program, store = tsqr_program(A, tr, tree, leaf_kernel=leaf_kernel)
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
-    executor.run(graph)
+    source = program if supports_streaming(executor) else program.materialize()
+    executor.run(source)
     R = np.triu(A[:n, :]).copy()
     return TSQRFactorization(m=m, n=n, store=store, R=R, tr=tr, tree=tree)

@@ -72,6 +72,8 @@ def solve(
     rtol: float | None = None,
     report: bool = False,
     checkpoint=None,
+    executor=None,
+    lookahead: int | None = None,
 ) -> np.ndarray:
     """Solve the square system ``A x = rhs`` with CALU.
 
@@ -89,7 +91,12 @@ def solve(
     ``report=True`` returns ``(x, SolveReport)``.  *checkpoint* (a
     :class:`~repro.resilience.checkpoint.Checkpoint`) is forwarded to
     :func:`~repro.core.calu.calu`, arming panel-granularity
-    checkpoint/restart for the factorization.
+    checkpoint/restart for the factorization.  *executor* and
+    *lookahead* are likewise forwarded: engine-backed executors
+    (threaded, work-stealing, simulated) stream the factorization's
+    graph program window-by-window, and *lookahead* bounds the
+    streamed window (``None`` = the process default,
+    :func:`repro.core.priorities.lookahead_depth`).
     """
     from repro.core.autotune import recommend_params
 
@@ -99,7 +106,8 @@ def solve(
     rhs = np.asarray(validate_rhs(rhs, A.shape[0], "rhs"), dtype=float)
     rec = recommend_params(A.shape[0], A.shape[1], cores=cores, kind="lu")
     f = calu(A, b=b if b is not None else rec.b, tr=tr if tr is not None else rec.tr,
-             tree=tree if tree is not None else rec.tree, checkpoint=checkpoint)
+             tree=tree if tree is not None else rec.tree, checkpoint=checkpoint,
+             executor=executor, lookahead=lookahead)
     x = f.solve(rhs)
     rep = SolveReport(degraded_panels=f.degraded_panels)
     if refine > 0:
@@ -140,10 +148,15 @@ def lstsq(
     tr: int | None = None,
     tree: TreeKind | None = None,
     cores: int = 4,
+    executor=None,
+    lookahead: int | None = None,
 ) -> np.ndarray:
     """Least-squares solution of ``min ||A x - rhs||_2`` with CAQR (``m >= n``).
 
     Unset parameters are filled from the paper's tuning heuristics.
+    *executor*/*lookahead* are forwarded to :func:`~repro.core.caqr.caqr`
+    (engine-backed executors stream the graph program; *lookahead*
+    bounds the streamed window).
     """
     from repro.core.autotune import recommend_params
 
@@ -153,7 +166,8 @@ def lstsq(
     rhs = np.asarray(validate_rhs(rhs, A.shape[0], "rhs"), dtype=float)
     rec = recommend_params(A.shape[0], A.shape[1], cores=cores, kind="qr")
     f = caqr(A, b=b if b is not None else rec.b, tr=tr if tr is not None else rec.tr,
-             tree=tree if tree is not None else rec.tree)
+             tree=tree if tree is not None else rec.tree,
+             executor=executor, lookahead=lookahead)
     return f.solve_ls(rhs)
 
 

@@ -70,25 +70,47 @@ class TaskJournal:
         self._completed = completed
 
     @staticmethod
-    def _signature(graph) -> dict:
-        return {"graph": graph.name, "n_tasks": len(graph.tasks)}
+    def _signature(source) -> dict:
+        # Eager graphs carry a task count; streaming GraphPrograms only
+        # know their name up front (the task list grows window by
+        # window), so their signature is name-only.
+        sig = {"graph": source.name}
+        tasks = getattr(source, "tasks", None)
+        if tasks is not None:
+            sig["n_tasks"] = len(tasks)
+        return sig
 
-    def bind(self, graph) -> set[str]:
-        """Attach the journal to *graph*; returns the completed names.
+    @staticmethod
+    def _compatible(header: dict, sig: dict) -> bool:
+        if header.get("graph") != sig.get("graph"):
+            return False
+        if "n_tasks" in header and "n_tasks" in sig and header["n_tasks"] != sig["n_tasks"]:
+            return False
+        return True
+
+    def bind(self, source) -> set[str]:
+        """Attach the journal to a graph or program; returns the
+        completed names.
 
         A journal written for a different graph (mismatched header) is
         reset — its entries describe other tasks and must not cause
-        skips.  Entries naming tasks the graph does not contain are
-        ignored for the same reason.
+        skips.  Entries naming tasks an eager graph does not contain
+        are ignored for the same reason; for a streaming
+        :class:`~repro.runtime.program.GraphProgram` the full set is
+        returned (the executor matches names at window registration,
+        so foreign entries are simply never hit).
         """
-        sig = self._signature(graph)
+        sig = self._signature(source)
         with self._lock:
-            if self._header is not None and self._header != sig:
+            if self._header is not None and not self._compatible(self._header, sig):
                 self._reset_locked()
             if self._header is None:
                 self.store.append_line(self.key, json.dumps({"header": sig}, sort_keys=True))
                 self._header = sig
-            names = {t.name for t in graph.tasks}
+            tasks = getattr(source, "tasks", None)
+            if tasks is None:
+                return set(self._completed)
+            names = {t.name for t in tasks}
             return self._completed & names
 
     # ------------------------------------------------------------------

@@ -3,7 +3,10 @@
 The paper's algorithms are expressed as *task graphs*: each matrix
 operation (a TSLU tree node, a ``dtrsm`` on a block of L, a ``dgemm``
 trailing update, ...) is a task; edges are data dependencies discovered
-from the blocks each task reads and writes.  The same graph can be
+from the blocks each task reads and writes.  Graphs come in two forms —
+an eager :class:`~repro.runtime.graph.TaskGraph` or a streaming
+:class:`~repro.runtime.program.GraphProgram` emitting one panel window
+at a time — and either can be
 
 * executed by real threads (:class:`~repro.runtime.threaded.ThreadedExecutor`)
   for numerical results and concurrency validation, or
@@ -11,9 +14,16 @@ from the blocks each task reads and writes.  The same graph can be
   (:class:`~repro.runtime.simulated.SimulatedExecutor`) to reproduce
   the paper's GFLOP/s measurements and execution diagrams at full
   paper-scale dimensions.
+
+All executors are thin front-ends over one
+:class:`~repro.runtime.engine.ExecutionEngine` that owns the task
+lifecycle (frontier, journal skip, retry, fault injection, health
+guards, tracing, watchdog).
 """
 
+from repro.runtime.engine import CentralFrontier, ExecutionEngine, StealingFrontier
 from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.program import GraphProgram
 from repro.runtime.scheduler import ReadyQueue
 from repro.runtime.simulated import SimulatedExecutor
 from repro.runtime.stealing import WorkStealingExecutor
@@ -23,9 +33,13 @@ from repro.runtime.trace import TaskRecord, Trace
 
 __all__ = [
     "BlockTracker",
+    "CentralFrontier",
     "Cost",
+    "ExecutionEngine",
+    "GraphProgram",
     "ReadyQueue",
     "SimulatedExecutor",
+    "StealingFrontier",
     "Task",
     "TaskGraph",
     "TaskKind",

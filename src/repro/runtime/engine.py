@@ -1,0 +1,817 @@
+"""The unified execution engine behind every executor front-end.
+
+Historically :class:`~repro.runtime.threaded.ThreadedExecutor`,
+:class:`~repro.runtime.simulated.SimulatedExecutor` and
+:class:`~repro.runtime.stealing.WorkStealingExecutor` each reimplemented
+the task lifecycle — ready tracking, journal skip + resume events,
+retry, fault injection, health guards, failure wrapping, tracing and the
+watchdog — so every resilience feature landed three times or not at all.
+:class:`ExecutionEngine` owns that lifecycle once, behind two pluggable
+axes:
+
+* **clock** — ``"real"`` runs tasks on worker threads (wall-clock);
+  ``"virtual"`` replays the graph as a discrete-event simulation priced
+  by a :class:`~repro.machine.model.MachineModel`.
+* **frontier** — how ready tasks are distributed to workers on the real
+  clock: :class:`CentralFrontier` (one shared priority queue, the
+  paper's look-ahead scheduling) or :class:`StealingFrontier`
+  (per-worker deques with deterministic stealing).
+
+The engine consumes :class:`~repro.runtime.program.GraphProgram`
+sources: windows of tasks are *registered* as the program emits them,
+and the program is expanded on the fly so that while the lowest
+incomplete window is ``W``, windows through ``W + lookahead`` exist.
+Graph construction therefore stays off the critical path and the
+scheduler's live set is bounded by the look-ahead window, not the total
+DAG — eager :class:`~repro.runtime.graph.TaskGraph` inputs are wrapped
+as single-window programs and behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.counters import add_sync, add_words
+from repro.resilience.events import ResilienceEvent
+from repro.resilience.faults import InjectedFault
+from repro.resilience.recovery import RuntimeFailure
+from repro.runtime.program import GraphProgram, as_program
+from repro.runtime.scheduler import ReadyQueue
+from repro.runtime.task import Task
+from repro.runtime.trace import TaskRecord, Trace
+
+__all__ = ["ExecutionEngine", "CentralFrontier", "StealingFrontier"]
+
+_EPS = 1e-12
+
+
+class CentralFrontier:
+    """One shared ready queue for all workers (the paper's scheduler).
+
+    Placement of each task's predecessors is accounted (a sync and the
+    task's input volume per remote predecessor), matching the
+    historical :class:`ThreadedExecutor` communication counters.
+    """
+
+    counts_placement = True
+
+    def __init__(self, policy: str = "priority") -> None:
+        self._queue = ReadyQueue(policy)
+
+    def seed_tasks(self, tasks: list[Task]) -> None:
+        for t in tasks:
+            self._queue.push(t)
+
+    def push_released(self, tasks: list[Task], core: int) -> None:
+        for t in tasks:
+            self._queue.push(t)
+
+    def pop(self, core: int) -> Task | None:
+        return self._queue.pop() if self._queue else None
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+
+class StealingFrontier:
+    """Per-worker deques with deterministic work stealing.
+
+    Tasks released by a completion go to the completing worker's own
+    deque (producer–consumer locality); idle workers scan victims in a
+    seeded deterministic order and steal from the head (FIFO), counting
+    one sync per steal.  Placement is not otherwise accounted.
+    """
+
+    counts_placement = False
+
+    def __init__(self, n_workers: int, seed: int = 0) -> None:
+        self.n_workers = n_workers
+        self.seed = seed
+        self._deques: list[deque[Task]] = [deque() for _ in range(n_workers)]
+
+    def seed_tasks(self, tasks: list[Task]) -> None:
+        # Distribute round-robin, highest priority first so every
+        # worker starts near the critical path.
+        roots = sorted(tasks, key=lambda t: -t.priority)
+        for i, t in enumerate(roots):
+            self._deques[i % self.n_workers].append(t)
+
+    def push_released(self, tasks: list[Task], core: int) -> None:
+        # Locality: released tasks go to my deque, highest priority
+        # last so my LIFO pop sees it first.
+        for t in sorted(tasks, key=lambda t: t.priority):
+            self._deques[core].append(t)
+
+    def pop(self, core: int) -> Task | None:
+        """Own deque first (LIFO for locality), then steal (FIFO)."""
+        own = self._deques[core]
+        if own:
+            return own.pop()
+        for off in range(1, self.n_workers):
+            victim = (core + self.seed + off) % self.n_workers
+            if self._deques[victim]:
+                add_sync()
+                return self._deques[victim].popleft()
+        return None
+
+    def __bool__(self) -> bool:
+        return any(self._deques)
+
+
+class _Bookkeeping:
+    """Frontier accounting over a growing graph (callers synchronize).
+
+    Registers emitted windows, tracks in-degrees against completed
+    tasks, marks journaled tasks done at registration, and expands the
+    program so ``lookahead`` windows exist past the lowest incomplete
+    one.  Both engine clocks share this logic.
+    """
+
+    def __init__(self, program: GraphProgram, done_names: set[str], depth: int) -> None:
+        self.program = program
+        self.graph = program.graph
+        self.done_names = done_names
+        self.depth = depth
+        self.done: list[bool] = []
+        self.indeg: list[int] = []
+        self.skipped: set[int] = set()
+        self.remaining = 0  # registered, not skipped, not completed
+        self.n_skipped = 0
+        self.peak_live = 0
+        self.window_total: list[int] = []
+        self.window_done: list[int] = []
+        self.window_of: list[int] = []
+        self._lowest = 0  # lowest window with incomplete tasks
+
+    @property
+    def registered(self) -> int:
+        return len(self.done)
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining == 0 and self.program.exhausted
+
+    def start(self) -> list[Task]:
+        """Register pre-emitted windows, expand to the initial look-ahead
+        target; returns the ready roots in tid order."""
+        ready: list[Task] = []
+        for w, (s, e) in enumerate(self.program.windows):
+            ready.extend(self._register(w, self.graph.tasks[s:e]))
+        ready.extend(self.expand())
+        return ready
+
+    def _register(self, window: int, tasks: list[Task]) -> list[Task]:
+        while len(self.window_total) <= window:
+            self.window_total.append(0)
+            self.window_done.append(0)
+        ready: list[Task] = []
+        for task in tasks:
+            tid = task.tid
+            self.window_total[window] += 1
+            self.window_of.append(window)
+            if self.done_names and task.name in self.done_names:
+                # Journaled: done before the run starts.  Its ancestors
+                # are journaled too (the journal is write-ahead in
+                # dependency order), so no release bookkeeping is owed.
+                self.done.append(True)
+                self.indeg.append(0)
+                self.skipped.add(tid)
+                self.n_skipped += 1
+                self.window_done[window] += 1
+                continue
+            nd = sum(1 for p in self.graph.preds[tid] if not self.done[p])
+            self.done.append(False)
+            self.indeg.append(nd)
+            self.remaining += 1
+            if nd == 0:
+                ready.append(task)
+        self.peak_live = max(self.peak_live, self.remaining)
+        return ready
+
+    def complete(self, tid: int) -> list[Task]:
+        """Mark *tid* done; returns newly ready tasks (released
+        successors, then roots of any windows emitted by expansion)."""
+        self.done[tid] = True
+        released: list[Task] = []
+        for s in self.graph.succs[tid]:
+            if self.done[s]:
+                continue
+            self.indeg[s] -= 1
+            if self.indeg[s] == 0:
+                released.append(self.graph.tasks[s])
+        self.remaining -= 1
+        w = self.window_of[tid]
+        self.window_done[w] += 1
+        if self.window_done[w] == self.window_total[w]:
+            released.extend(self.expand())
+        return released
+
+    def expand(self) -> list[Task]:
+        """Emit windows until ``lowest_incomplete + depth`` exist."""
+        ready: list[Task] = []
+        program = self.program
+        while not program.exhausted:
+            while (
+                self._lowest < len(self.window_total)
+                and self.window_done[self._lowest] == self.window_total[self._lowest]
+            ):
+                self._lowest += 1
+            target = min(program.n_windows, self._lowest + self.depth + 1)
+            if program.emitted >= target:
+                break
+            window = program.emitted
+            ready.extend(self._register(window, program.emit_next()))
+        return ready
+
+    def stats(self) -> dict:
+        return {
+            "n_tasks": len(self.graph.tasks),
+            "peak_live_tasks": self.peak_live,
+            "windows_emitted": self.program.emitted,
+            "n_windows": self.program.n_windows,
+            "emit_seconds": self.program.emit_seconds,
+            "skipped": self.n_skipped,
+        }
+
+
+@dataclass
+class _Running:
+    task: Task
+    core: int
+    start: float
+    setup_left: float  # seconds of fixed setup remaining
+    work_left: float  # work units remaining (flops or bytes)
+    max_rate: float  # work units / second cap
+    demand: float  # bytes per work unit
+    rate: float = 0.0
+    failure: BaseException | None = None  # injected fault fired at completion
+    corrupt: bool = False  # injected corruption applied at completion
+
+
+class ExecutionEngine:
+    """Owns the task lifecycle for every executor front-end.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker threads on the real clock (ignored on the virtual one,
+        where the :class:`MachineModel` supplies the core count).
+    frontier:
+        Real-clock ready-task distribution strategy; a fresh
+        :class:`CentralFrontier` or :class:`StealingFrontier` per run.
+    clock:
+        ``"real"`` (threads) or ``"virtual"`` (discrete-event
+        simulation on *machine*).
+    machine / policy / execute:
+        Virtual-clock configuration (see
+        :class:`~repro.runtime.simulated.SimulatedExecutor`).
+    retry / fault_plan / task_timeout / stall_timeout / health_checks /
+    watchdog_poll_s:
+        The resilience options shared by all front-ends (see
+        :class:`~repro.runtime.threaded.ThreadedExecutor`).
+    thread_name:
+        Prefix for worker thread names.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 4,
+        frontier=None,
+        clock: str = "real",
+        machine=None,
+        policy: str = "priority",
+        execute: bool = False,
+        retry=None,
+        fault_plan=None,
+        task_timeout: float | None = None,
+        stall_timeout: float | None = None,
+        health_checks: bool = True,
+        watchdog_poll_s: float = 0.02,
+        thread_name: str = "repro-worker",
+    ) -> None:
+        if clock not in ("real", "virtual"):
+            raise ValueError(f"unknown clock {clock!r}")
+        if clock == "virtual" and machine is None:
+            raise ValueError("virtual clock requires a machine model")
+        self.n_workers = n_workers
+        self.frontier = frontier
+        self.clock = clock
+        self.machine = machine
+        self.policy = policy
+        self.execute = execute
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.task_timeout = task_timeout
+        self.stall_timeout = stall_timeout
+        self.health_checks = health_checks
+        self.watchdog_poll_s = watchdog_poll_s
+        self.thread_name = thread_name
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, source, journal=None) -> Trace:
+        """Run a :class:`TaskGraph` or :class:`GraphProgram` to completion.
+
+        With *journal*, tasks the journal already records as completed
+        are skipped at registration (one ``resume`` event), and every
+        completed task (post-guards) is journaled before its successors
+        are released.
+        """
+        done_names: set[str] = set()
+        if journal is not None:
+            done_names = journal.bind(source)
+        program = as_program(source)
+        depth = program.lookahead
+        if depth is None:
+            from repro.core.priorities import lookahead_depth
+
+            depth = lookahead_depth()
+        if depth < 0:
+            depth = program.n_windows  # infinite: emit everything up front
+        bookkeeping = _Bookkeeping(program, done_names, depth)
+        if self.clock == "virtual":
+            return self._run_virtual(program, bookkeeping, journal)
+        return self._run_threads(program, bookkeeping, journal)
+
+    @staticmethod
+    def _resume_event(bookkeeping: _Bookkeeping) -> ResilienceEvent:
+        n_skip = bookkeeping.n_skipped
+        n = len(bookkeeping.graph.tasks)
+        return ResilienceEvent(
+            "resume",
+            detail=f"resumed from journal: skipping {n_skip}/{n} completed tasks",
+            value=float(n_skip),
+        )
+
+    # ------------------------------------------------------------------
+    # Real clock: worker threads
+    # ------------------------------------------------------------------
+    def _run_threads(self, program: GraphProgram, bk: _Bookkeeping, journal) -> Trace:
+        graph = program.graph
+        frontier = self.frontier if self.frontier is not None else CentralFrontier(self.policy)
+        lock = threading.Lock()
+        work_available = threading.Condition(lock)
+        errors: list[BaseException] = []
+        records: list[TaskRecord] = []
+        events: list[ResilienceEvent] = []
+        ran_on: dict[int, int] = {}
+        running: dict[int, tuple] = {}  # core -> (task, monotonic start)
+        progress = [time.monotonic()]  # last completion, for stall detection
+        stop = threading.Event()  # watchdog fired: abandon stuck workers
+        retry = self.retry
+        plan = self.fault_plan
+        t0 = time.perf_counter()
+
+        initial = bk.start()
+        if bk.n_skipped:
+            events.append(self._resume_event(bk))
+        frontier.seed_tasks(initial)
+
+        def record_event(ev: ResilienceEvent) -> None:
+            with lock:
+                events.append(ev)
+
+        def partial_trace() -> Trace:
+            with lock:
+                return Trace(list(records), self.n_workers, list(events))
+
+        def worker(core: int) -> None:
+            while True:
+                with work_available:
+                    while not frontier and not bk.finished and not errors:
+                        work_available.wait()
+                    if bk.finished or errors:
+                        work_available.notify_all()
+                        return
+                    task = frontier.pop(core)
+                    if task is None:  # unreachable for a truthy frontier
+                        work_available.notify_all()
+                        return
+                    if frontier.counts_placement:
+                        # Snapshot predecessor placement under the lock:
+                        # ran_on is written by completing workers, so an
+                        # unlocked read would race (and miscount syncs).
+                        placement = [ran_on.get(p, core) for p in graph.preds[task.tid]]
+                    else:
+                        placement = None
+                    running[core] = (task, time.monotonic())
+                if placement is not None:
+                    # Account inter-worker synchronization: one sync (and
+                    # the task's input volume) per remote predecessor.
+                    remote = sum(1 for p in placement if p != core)
+                    if remote:
+                        add_sync(remote)
+                        add_words(int(task.cost.words))
+                attempt = 0
+                while True:
+                    start = time.perf_counter() - t0
+                    try:
+                        if plan is not None:
+                            plan.pre_task(task, attempt, record=record_event)
+                        if task.fn is not None:
+                            task.fn()
+                        if plan is not None:
+                            plan.post_task(task, attempt, record=record_event)
+                    except BaseException as exc:  # noqa: BLE001 - handled below
+                        if retry is not None and not errors and retry.should_retry(task, exc, attempt):
+                            record_event(
+                                ResilienceEvent(
+                                    "retry",
+                                    task.name,
+                                    task.tid,
+                                    detail=(
+                                        f"attempt {attempt + 1} after "
+                                        f"{type(exc).__name__}: {exc}"
+                                    ),
+                                )
+                            )
+                            time.sleep(retry.delay(attempt))
+                            attempt += 1
+                            continue
+                        if not isinstance(exc, RuntimeFailure):
+                            kind = "injected" if isinstance(exc, InjectedFault) else "task_error"
+                            failure = RuntimeFailure(
+                                f"task {task.name!r} failed after {attempt + 1} attempt(s): {exc}",
+                                task=task.name,
+                                tid=task.tid,
+                                failure_kind=kind,
+                            )
+                            failure.__cause__ = exc
+                            exc = failure
+                        with work_available:
+                            running.pop(core, None)
+                            errors.append(exc)
+                            bk.remaining -= 1
+                            work_available.notify_all()
+                        return
+                    break
+                end = time.perf_counter() - t0
+                # Numerical health guard, outside the lock (it reads
+                # only blocks this task owns).
+                fatal_event = None
+                guard = task.meta.get("health") if (self.health_checks and task.meta) else None
+                if guard is not None:
+                    verdict = guard()
+                    if verdict is not None:
+                        record_event(verdict)
+                        if verdict.fatal:
+                            fatal_event = verdict
+                # Write-ahead journal entry: only after the guards pass,
+                # so a resumed run never skips a task whose output was
+                # found corrupted.  Outside the lock (may hit disk).
+                if fatal_event is None and journal is not None:
+                    try:
+                        journal.record(task)
+                    except Exception as exc:
+                        with work_available:
+                            running.pop(core, None)
+                            errors.append(
+                                RuntimeFailure(
+                                    f"journal write failed after task {task.name!r}: {exc}",
+                                    task=task.name,
+                                    tid=task.tid,
+                                    failure_kind="task_error",
+                                )
+                            )
+                            bk.remaining -= 1
+                            work_available.notify_all()
+                        return
+                with work_available:
+                    running.pop(core, None)
+                    progress[0] = time.monotonic()
+                    ran_on[task.tid] = core
+                    records.append(TaskRecord(task.tid, task.name, task.kind, core, start, end))
+                    if fatal_event is not None:
+                        errors.append(
+                            RuntimeFailure(
+                                f"health guard failed after task {task.name!r}: "
+                                f"{fatal_event.detail}",
+                                task=task.name,
+                                tid=task.tid,
+                                failure_kind="health",
+                            )
+                        )
+                        bk.remaining -= 1
+                        work_available.notify_all()
+                        return
+                    # complete() may expand the program: emitting the
+                    # next window(s) happens here, under the lock, while
+                    # other workers keep executing their current tasks.
+                    frontier.push_released(bk.complete(task.tid), core)
+                    work_available.notify_all()
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(c,), name=f"{self.thread_name}-{c}", daemon=True
+            )
+            for c in range(self.n_workers)
+        ]
+
+        watchdog_active = self.task_timeout is not None or self.stall_timeout is not None
+
+        def watchdog() -> None:
+            deadlock_polls = 0
+            while not stop.wait(self.watchdog_poll_s):
+                with work_available:
+                    if bk.remaining <= 0 or errors:
+                        return
+                    n = bk.registered
+                    done_count = n - bk.remaining
+                    now = time.monotonic()
+                    if self.task_timeout is not None:
+                        for core, (task, ts) in list(running.items()):
+                            if now - ts > self.task_timeout:
+                                events.append(
+                                    ResilienceEvent(
+                                        "timeout",
+                                        task.name,
+                                        task.tid,
+                                        detail=(
+                                            f"exceeded task_timeout={self.task_timeout:.3g}s "
+                                            f"on worker {core}"
+                                        ),
+                                        value=now - ts,
+                                        fatal=True,
+                                    )
+                                )
+                                errors.append(
+                                    RuntimeFailure(
+                                        f"task {task.name!r} stalled: ran longer than "
+                                        f"{self.task_timeout:.3g}s on worker {core}",
+                                        task=task.name,
+                                        tid=task.tid,
+                                        failure_kind="timeout",
+                                    )
+                                )
+                                stop.set()
+                                work_available.notify_all()
+                                return
+                    if self.stall_timeout is not None and now - progress[0] > self.stall_timeout:
+                        stalled = ", ".join(t.name for t, _ in running.values()) or "none"
+                        events.append(
+                            ResilienceEvent(
+                                "stall",
+                                detail=(
+                                    f"no task completed for {self.stall_timeout:.3g}s "
+                                    f"(running: {stalled})"
+                                ),
+                                fatal=True,
+                            )
+                        )
+                        errors.append(
+                            RuntimeFailure(
+                                f"runtime stalled: no task completed for "
+                                f"{self.stall_timeout:.3g}s ({done_count}/{n} done, "
+                                f"running: {stalled})",
+                                failure_kind="stall",
+                            )
+                        )
+                        stop.set()
+                        work_available.notify_all()
+                        return
+                    dead = [
+                        c
+                        for c, th in enumerate(threads)
+                        if c in running and not th.is_alive()
+                    ]
+                    if dead:
+                        task = running[dead[0]][0]
+                        events.append(
+                            ResilienceEvent(
+                                "worker_death",
+                                task.name,
+                                task.tid,
+                                detail=f"worker {dead[0]} died with task in flight",
+                                fatal=True,
+                            )
+                        )
+                        errors.append(
+                            RuntimeFailure(
+                                f"worker {dead[0]} died while running task {task.name!r}",
+                                task=task.name,
+                                tid=task.tid,
+                                failure_kind="worker_death",
+                            )
+                        )
+                        stop.set()
+                        work_available.notify_all()
+                        return
+                    # Deadlocked queue: tasks remain, nothing runs,
+                    # nothing is ready.  Cannot happen for a valid DAG;
+                    # confirmed over two polls to dodge races.
+                    if bk.remaining > 0 and not running and not frontier:
+                        deadlock_polls += 1
+                        if deadlock_polls >= 2:
+                            events.append(
+                                ResilienceEvent(
+                                    "deadlock",
+                                    detail=(
+                                        f"{done_count}/{n} tasks done, "
+                                        "none ready or running"
+                                    ),
+                                    fatal=True,
+                                )
+                            )
+                            errors.append(
+                                RuntimeFailure(
+                                    f"runtime deadlock: {done_count}/{n} tasks "
+                                    "completed, none ready or running",
+                                    failure_kind="deadlock",
+                                )
+                            )
+                            stop.set()
+                            work_available.notify_all()
+                            return
+                    else:
+                        deadlock_polls = 0
+
+        for th in threads:
+            th.start()
+        watchdog_thread = None
+        if watchdog_active:
+            watchdog_thread = threading.Thread(target=watchdog, name="repro-watchdog", daemon=True)
+            watchdog_thread.start()
+        for th in threads:
+            if not watchdog_active:
+                th.join()
+            else:
+                # A stuck worker cannot be killed; once the watchdog
+                # fires we stop waiting and abandon the daemon thread.
+                while th.is_alive() and not stop.is_set():
+                    th.join(0.05)
+        if watchdog_thread is not None:
+            stop.set()
+            watchdog_thread.join(1.0)
+        if errors:
+            exc = errors[0]
+            if isinstance(exc, RuntimeFailure) and exc.trace is None:
+                exc.trace = partial_trace()
+            raise exc
+        return Trace(records, self.n_workers, events, stats=bk.stats())
+
+    # ------------------------------------------------------------------
+    # Virtual clock: discrete-event simulation
+    # ------------------------------------------------------------------
+    def _run_virtual(self, program: GraphProgram, bk: _Bookkeeping, journal) -> Trace:
+        mach = self.machine
+        graph = program.graph
+        ready = ReadyQueue(self.policy)
+        events: list[ResilienceEvent] = []
+        records: list[TaskRecord] = []
+        ran_on: dict[int, int] = {}
+        clock = 0.0
+        sync_lat = mach.sync_latency_us * 1e-6
+        plan = self.fault_plan
+
+        initial = bk.start()
+        if bk.n_skipped:
+            events.append(self._resume_event(bk))
+        for t in initial:
+            ready.push(t)
+
+        free_cores = list(range(mach.cores - 1, -1, -1))  # pop() yields core 0 first
+        running: list[_Running] = []
+
+        def record_event(ev: ResilienceEvent) -> None:
+            events.append(ev)
+
+        def start_tasks() -> None:
+            while ready and free_cores:
+                core = free_cores.pop()
+                task = ready.pop()
+                remote = sum(
+                    1 for p in graph.preds[task.tid] if ran_on.get(p, core) != core
+                )
+                setup = mach.task_overhead_s(task.cost) + (sync_lat if remote else 0.0)
+                if remote:
+                    add_sync(remote)
+                    add_words(int(task.cost.words))
+                failure = None
+                corrupt = False
+                if plan is not None:
+                    delay, failure, corrupt = plan.virtual_faults(
+                        task, retry=self.retry, record=record_event
+                    )
+                    setup += delay
+                work, rate, demand = mach.work_and_demand(task.cost)
+                running.append(
+                    _Running(
+                        task=task,
+                        core=core,
+                        start=clock,
+                        setup_left=setup,
+                        work_left=work,
+                        max_rate=rate,
+                        demand=demand,
+                        failure=failure,
+                        corrupt=corrupt,
+                    )
+                )
+
+        def complete(r: _Running) -> None:
+            if r.failure is not None:
+                failure = RuntimeFailure(
+                    f"task {r.task.name!r} failed: {r.failure}",
+                    task=r.task.name,
+                    tid=r.task.tid,
+                    failure_kind="injected",
+                    trace=Trace(list(records), mach.cores, list(events)),
+                )
+                failure.__cause__ = r.failure
+                raise failure
+            ran_on[r.task.tid] = r.core
+            records.append(
+                TaskRecord(r.task.tid, r.task.name, r.task.kind, r.core, r.start, clock)
+            )
+            if self.execute and r.task.fn is not None:
+                try:
+                    r.task.fn()
+                except RuntimeFailure:
+                    raise
+                except Exception as exc:
+                    failure = RuntimeFailure(
+                        f"task {r.task.name!r} failed: {exc}",
+                        task=r.task.name,
+                        tid=r.task.tid,
+                        failure_kind="task_error",
+                        trace=Trace(list(records), mach.cores, list(events)),
+                    )
+                    failure.__cause__ = exc
+                    raise failure from exc
+            if r.corrupt and plan is not None and self.execute:
+                plan.apply_corruption(r.task, record=record_event)
+            guard = (
+                r.task.meta.get("health")
+                if (self.execute and self.health_checks and r.task.meta)
+                else None
+            )
+            if guard is not None:
+                verdict = guard()
+                if verdict is not None:
+                    record_event(verdict)
+                    if verdict.fatal:
+                        raise RuntimeFailure(
+                            f"health guard failed after task {r.task.name!r}: "
+                            f"{verdict.detail}",
+                            task=r.task.name,
+                            tid=r.task.tid,
+                            failure_kind="health",
+                            trace=Trace(list(records), mach.cores, list(events)),
+                        )
+            if journal is not None:
+                journal.record(r.task)
+            for t in bk.complete(r.task.tid):
+                ready.push(t)
+            free_cores.append(r.core)
+
+        while not bk.finished:
+            start_tasks()
+            if not running:
+                raise RuntimeError(
+                    f"simulated deadlock: {bk.registered - bk.remaining}/{bk.registered} "
+                    "tasks done, none running"
+                )
+            # Recompute processor-sharing rates for tasks in the work phase.
+            in_work = [r for r in running if r.setup_left <= _EPS and r.work_left > 0.0]
+            if in_work:
+                rates = mach.share_rates([(r.max_rate, r.demand) for r in in_work])
+                for r, rate in zip(in_work, rates):
+                    r.rate = rate
+            # Time to the next event (a phase change or a completion).
+            dt = float("inf")
+            for r in running:
+                if r.setup_left > _EPS:
+                    dt = min(dt, r.setup_left)
+                elif r.work_left > 0.0:
+                    if r.rate > 0.0:
+                        dt = min(dt, r.work_left / r.rate)
+                else:
+                    dt = 0.0
+            if dt == float("inf"):
+                raise RuntimeError("simulated stall: running tasks cannot progress")
+            dt = max(dt, 0.0)
+            clock += dt
+            still: list[_Running] = []
+            for r in running:
+                if r.setup_left > _EPS:
+                    r.setup_left -= dt
+                    if r.setup_left <= _EPS:
+                        r.setup_left = 0.0
+                        if r.work_left <= 0.0:
+                            complete(r)
+                            continue
+                    still.append(r)
+                else:
+                    r.work_left -= r.rate * dt
+                    if r.work_left <= _EPS * max(1.0, r.rate):
+                        complete(r)
+                    else:
+                        still.append(r)
+            running = still
+
+        return Trace(records, mach.cores, events, stats=bk.stats())

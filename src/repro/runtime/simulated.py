@@ -16,41 +16,28 @@ data produced on another core) and then a *work* phase whose rate is
 recomputed at every event from the set of concurrently running tasks
 (memory-bound tasks share the aggregate bandwidth).  Events are task
 starts and completions; the simulation is fully deterministic.
+
+Since the :class:`~repro.runtime.engine.ExecutionEngine` refactor the
+event loop lives in the engine's virtual clock; this class is a thin
+front-end sharing the lifecycle (journal skip + resume events, fault
+injection, health guards, failure wrapping) with the threaded
+executors, and accepts streaming
+:class:`~repro.runtime.program.GraphProgram` sources — windows are
+expanded in virtual-time order, deterministically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.counters import add_sync, add_words
-from repro.resilience.events import ResilienceEvent
-from repro.resilience.recovery import RuntimeFailure
+from repro.runtime.engine import ExecutionEngine
 from repro.runtime.graph import TaskGraph
 
 if TYPE_CHECKING:  # avoid a runtime circular import with repro.machine
     from repro.machine.model import MachineModel
-from repro.runtime.scheduler import ReadyQueue
-from repro.runtime.task import Task
-from repro.runtime.trace import TaskRecord, Trace
+from repro.runtime.trace import Trace
 
 __all__ = ["SimulatedExecutor"]
-
-_EPS = 1e-12
-
-
-@dataclass
-class _Running:
-    task: Task
-    core: int
-    start: float
-    setup_left: float  # seconds of fixed setup remaining
-    work_left: float  # work units remaining (flops or bytes)
-    max_rate: float  # work units / second cap
-    demand: float  # bytes per work unit
-    rate: float = 0.0
-    failure: BaseException | None = None  # injected fault fired at completion
-    corrupt: bool = False  # injected corruption applied at completion
 
 
 class SimulatedExecutor:
@@ -102,183 +89,18 @@ class SimulatedExecutor:
         self.health_checks = health_checks
 
     def run(self, graph: TaskGraph, journal=None) -> Trace:
-        mach = self.machine
-        n = len(graph.tasks)
-        indeg = graph.indegrees()
-        ready = ReadyQueue(self.policy)
+        """Simulate (and with ``execute=True`` run) every task.
 
-        skipped: set[int] = set()
-        if journal is not None:
-            done_names = journal.bind(graph)
-            if done_names:
-                skipped = {t.tid for t in graph.tasks if t.name in done_names}
-        events: list[ResilienceEvent] = []
-        if skipped:
-            events.append(
-                ResilienceEvent(
-                    "resume",
-                    detail=(
-                        f"resumed from journal: skipping {len(skipped)}/{n} "
-                        "completed tasks"
-                    ),
-                    value=float(len(skipped)),
-                )
-            )
-            for tid in graph.topological_order():
-                if tid in skipped:
-                    for s in graph.succs[tid]:
-                        indeg[s] -= 1
-        for t, d in enumerate(indeg):
-            if d == 0 and t not in skipped:
-                ready.push(graph.tasks[t])
-
-        free_cores = list(range(mach.cores - 1, -1, -1))  # pop() yields core 0 first
-        running: list[_Running] = []
-        ran_on: dict[int, int] = {}
-        records: list[TaskRecord] = []
-        clock = 0.0
-        completed = len(skipped)
-        sync_lat = mach.sync_latency_us * 1e-6
-        plan = self.fault_plan
-
-        def record_event(ev: ResilienceEvent) -> None:
-            events.append(ev)
-
-        def start_tasks() -> None:
-            while ready and free_cores:
-                core = free_cores.pop()
-                task = ready.pop()
-                remote = sum(
-                    1 for p in graph.preds[task.tid] if ran_on.get(p, core) != core
-                )
-                setup = mach.task_overhead_s(task.cost) + (sync_lat if remote else 0.0)
-                if remote:
-                    add_sync(remote)
-                    add_words(int(task.cost.words))
-                failure = None
-                corrupt = False
-                if plan is not None:
-                    delay, failure, corrupt = plan.virtual_faults(
-                        task, retry=self.retry, record=record_event
-                    )
-                    setup += delay
-                work, rate, demand = mach.work_and_demand(task.cost)
-                running.append(
-                    _Running(
-                        task=task,
-                        core=core,
-                        start=clock,
-                        setup_left=setup,
-                        work_left=work,
-                        max_rate=rate,
-                        demand=demand,
-                        failure=failure,
-                        corrupt=corrupt,
-                    )
-                )
-
-        def complete(r: _Running) -> None:
-            nonlocal completed
-            if r.failure is not None:
-                failure = RuntimeFailure(
-                    f"task {r.task.name!r} failed: {r.failure}",
-                    task=r.task.name,
-                    tid=r.task.tid,
-                    failure_kind="injected",
-                    trace=Trace(list(records), mach.cores, list(events)),
-                )
-                failure.__cause__ = r.failure
-                raise failure
-            ran_on[r.task.tid] = r.core
-            records.append(
-                TaskRecord(r.task.tid, r.task.name, r.task.kind, r.core, r.start, clock)
-            )
-            if self.execute and r.task.fn is not None:
-                try:
-                    r.task.fn()
-                except RuntimeFailure:
-                    raise
-                except Exception as exc:
-                    failure = RuntimeFailure(
-                        f"task {r.task.name!r} failed: {exc}",
-                        task=r.task.name,
-                        tid=r.task.tid,
-                        failure_kind="task_error",
-                        trace=Trace(list(records), mach.cores, list(events)),
-                    )
-                    failure.__cause__ = exc
-                    raise failure from exc
-            if r.corrupt and plan is not None and self.execute:
-                plan.apply_corruption(r.task, record=record_event)
-            guard = (
-                r.task.meta.get("health")
-                if (self.execute and self.health_checks and r.task.meta)
-                else None
-            )
-            if guard is not None:
-                verdict = guard()
-                if verdict is not None:
-                    record_event(verdict)
-                    if verdict.fatal:
-                        raise RuntimeFailure(
-                            f"health guard failed after task {r.task.name!r}: "
-                            f"{verdict.detail}",
-                            task=r.task.name,
-                            tid=r.task.tid,
-                            failure_kind="health",
-                            trace=Trace(list(records), mach.cores, list(events)),
-                        )
-            if journal is not None:
-                journal.record(r.task)
-            for s in graph.succs[r.task.tid]:
-                indeg[s] -= 1
-                if indeg[s] == 0 and s not in skipped:
-                    ready.push(graph.tasks[s])
-            free_cores.append(r.core)
-            completed += 1
-
-        while completed < n:
-            start_tasks()
-            if not running:
-                raise RuntimeError(
-                    f"simulated deadlock: {completed}/{n} tasks done, none running"
-                )
-            # Recompute processor-sharing rates for tasks in the work phase.
-            in_work = [r for r in running if r.setup_left <= _EPS and r.work_left > 0.0]
-            if in_work:
-                rates = mach.share_rates([(r.max_rate, r.demand) for r in in_work])
-                for r, rate in zip(in_work, rates):
-                    r.rate = rate
-            # Time to the next event (a phase change or a completion).
-            dt = float("inf")
-            for r in running:
-                if r.setup_left > _EPS:
-                    dt = min(dt, r.setup_left)
-                elif r.work_left > 0.0:
-                    if r.rate > 0.0:
-                        dt = min(dt, r.work_left / r.rate)
-                else:
-                    dt = 0.0
-            if dt == float("inf"):
-                raise RuntimeError("simulated stall: running tasks cannot progress")
-            dt = max(dt, 0.0)
-            clock += dt
-            still: list[_Running] = []
-            for r in running:
-                if r.setup_left > _EPS:
-                    r.setup_left -= dt
-                    if r.setup_left <= _EPS:
-                        r.setup_left = 0.0
-                        if r.work_left <= 0.0:
-                            complete(r)
-                            continue
-                    still.append(r)
-                else:
-                    r.work_left -= r.rate * dt
-                    if r.work_left <= _EPS * max(1.0, r.rate):
-                        complete(r)
-                    else:
-                        still.append(r)
-            running = still
-
-        return Trace(records, mach.cores, events)
+        Accepts an eager :class:`TaskGraph` or a streaming
+        :class:`~repro.runtime.program.GraphProgram`.
+        """
+        engine = ExecutionEngine(
+            clock="virtual",
+            machine=self.machine,
+            policy=self.policy,
+            execute=self.execute,
+            fault_plan=self.fault_plan,
+            retry=self.retry,
+            health_checks=self.health_checks,
+        )
+        return engine.run(graph, journal=journal)

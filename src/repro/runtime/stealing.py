@@ -12,21 +12,23 @@ wide fan-out the centralized queue's global priority order buys the
 paper's look-ahead behaviour, while stealing trades that order for less
 contention.  Numerical results are identical either way — dependencies
 are always respected.
+
+Since the :class:`~repro.runtime.engine.ExecutionEngine` refactor the
+stealing policy lives in
+:class:`~repro.runtime.engine.StealingFrontier` and this class is a
+thin front-end — which buys it full option parity with the other
+executors: ``retry=`` / ``fault_plan=`` / ``health_checks=`` /
+watchdog timeouts, journal skip with the same ``resume`` event, and
+streaming :class:`~repro.runtime.program.GraphProgram` sources.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from collections import deque
-
-from repro.counters import add_sync
-from repro.resilience.events import ResilienceEvent
-from repro.resilience.faults import InjectedFault
-from repro.resilience.recovery import RuntimeFailure
+from repro.resilience.faults import FaultPlan
+from repro.resilience.recovery import RetryPolicy
+from repro.runtime.engine import ExecutionEngine, StealingFrontier
 from repro.runtime.graph import TaskGraph
-from repro.runtime.task import Task
-from repro.runtime.trace import TaskRecord, Trace
+from repro.runtime.trace import Trace
 
 __all__ = ["WorkStealingExecutor"]
 
@@ -40,143 +42,53 @@ class WorkStealingExecutor:
         Number of worker threads.
     seed:
         Seed for the (deterministic) victim-selection sequence.
+    retry / fault_plan / task_timeout / stall_timeout / health_checks:
+        The same resilience options as
+        :class:`~repro.runtime.threaded.ThreadedExecutor` — provided by
+        the shared engine.
     """
 
-    def __init__(self, n_workers: int = 4, seed: int = 0) -> None:
+    def __init__(
+        self,
+        n_workers: int = 4,
+        seed: int = 0,
+        *,
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        task_timeout: float | None = None,
+        stall_timeout: float | None = None,
+        health_checks: bool = True,
+        watchdog_poll_s: float = 0.02,
+    ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
         self.seed = seed
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.task_timeout = task_timeout
+        self.stall_timeout = stall_timeout
+        self.health_checks = health_checks
+        self.watchdog_poll_s = watchdog_poll_s
 
     def run(self, graph: TaskGraph, journal=None) -> Trace:
-        n = len(graph.tasks)
-        indeg = graph.indegrees()
-        deques: list[deque[Task]] = [deque() for _ in range(self.n_workers)]
-        lock = threading.Lock()
-        work_available = threading.Condition(lock)
-        remaining = n
-        errors: list[BaseException] = []
-        records: list[TaskRecord] = []
-        events: list[ResilienceEvent] = []
-        t0 = time.perf_counter()
+        """Run every task; returns the execution :class:`Trace`.
 
-        skipped: set[int] = set()
-        if journal is not None:
-            done_names = journal.bind(graph)
-            if done_names:
-                skipped = {t.tid for t in graph.tasks if t.name in done_names}
-        if skipped:
-            events.append(
-                ResilienceEvent(
-                    "resume",
-                    detail=(
-                        f"resumed from journal: skipping {len(skipped)}/{n} "
-                        "completed tasks"
-                    ),
-                    value=float(len(skipped)),
-                )
-            )
-            remaining = n - len(skipped)
-            for tid in graph.topological_order():
-                if tid in skipped:
-                    for s in graph.succs[tid]:
-                        indeg[s] -= 1
-
-        # Seed: distribute the initial ready set round-robin, highest
-        # priority first so every worker starts near the critical path.
-        roots = sorted(
-            (t for t, d in enumerate(indeg) if d == 0 and t not in skipped),
-            key=lambda t: -graph.tasks[t].priority,
+        Accepts an eager :class:`TaskGraph` or a streaming
+        :class:`~repro.runtime.program.GraphProgram`.  Journal, retry,
+        fault-injection and health-guard semantics match
+        :class:`~repro.runtime.threaded.ThreadedExecutor` exactly
+        (shared engine); only the ready-task distribution differs.
+        """
+        engine = ExecutionEngine(
+            n_workers=self.n_workers,
+            frontier=StealingFrontier(self.n_workers, self.seed),
+            retry=self.retry,
+            fault_plan=self.fault_plan,
+            task_timeout=self.task_timeout,
+            stall_timeout=self.stall_timeout,
+            health_checks=self.health_checks,
+            watchdog_poll_s=self.watchdog_poll_s,
+            thread_name="repro-steal",
         )
-        for i, t in enumerate(roots):
-            deques[i % self.n_workers].append(graph.tasks[t])
-
-        def try_pop(core: int) -> Task | None:
-            """Own deque first (LIFO for locality), then steal (FIFO)."""
-            own = deques[core]
-            if own:
-                return own.pop()
-            # Deterministic victim scan starting from a seeded offset.
-            for off in range(1, self.n_workers):
-                victim = (core + self.seed + off) % self.n_workers
-                if deques[victim]:
-                    add_sync()
-                    return deques[victim].popleft()
-            return None
-
-        def worker(core: int) -> None:
-            nonlocal remaining
-            while True:
-                with work_available:
-                    task = try_pop(core)
-                    while task is None and remaining > 0 and not errors:
-                        work_available.wait()
-                        task = try_pop(core)
-                    if task is None:
-                        work_available.notify_all()
-                        return
-                start = time.perf_counter() - t0
-                try:
-                    if task.fn is not None:
-                        task.fn()
-                except BaseException as exc:  # noqa: BLE001 - propagate
-                    if not isinstance(exc, RuntimeFailure):
-                        kind = "injected" if isinstance(exc, InjectedFault) else "task_error"
-                        with lock:
-                            partial = Trace(list(records), self.n_workers, list(events))
-                        wrapped = RuntimeFailure(
-                            f"task {task.name!r} failed: {exc}",
-                            task=task.name,
-                            tid=task.tid,
-                            failure_kind=kind,
-                            trace=partial,
-                        )
-                        wrapped.__cause__ = exc
-                        exc = wrapped
-                    with work_available:
-                        errors.append(exc)
-                        remaining -= 1
-                        work_available.notify_all()
-                    return
-                end = time.perf_counter() - t0
-                if journal is not None:
-                    try:
-                        journal.record(task)
-                    except Exception as exc:
-                        with work_available:
-                            errors.append(
-                                RuntimeFailure(
-                                    f"journal write failed after task {task.name!r}: {exc}",
-                                    task=task.name,
-                                    tid=task.tid,
-                                    failure_kind="task_error",
-                                )
-                            )
-                            remaining -= 1
-                            work_available.notify_all()
-                        return
-                with work_available:
-                    records.append(TaskRecord(task.tid, task.name, task.kind, core, start, end))
-                    released = []
-                    for s in graph.succs[task.tid]:
-                        indeg[s] -= 1
-                        if indeg[s] == 0 and s not in skipped:
-                            released.append(graph.tasks[s])
-                    # Locality: freshly released tasks go to my deque,
-                    # highest priority last so my LIFO pop sees it first.
-                    for t in sorted(released, key=lambda t: t.priority):
-                        deques[core].append(t)
-                    remaining -= 1
-                    work_available.notify_all()
-
-        threads = [
-            threading.Thread(target=worker, args=(c,), name=f"repro-steal-{c}", daemon=True)
-            for c in range(self.n_workers)
-        ]
-        for th in threads:
-            th.start()
-        for th in threads:
-            th.join()
-        if errors:
-            raise errors[0]
-        return Trace(records, self.n_workers, events)
+        return engine.run(graph, journal=journal)

@@ -11,6 +11,15 @@ still fully validates the dependency and locking logic (races would
 corrupt the factorization, which the test suite cross-checks against
 the sequential execution and the simulated executor).
 
+Since the :class:`~repro.runtime.engine.ExecutionEngine` refactor this
+class is a thin front-end: it owns only its configuration and delegates
+the task lifecycle (frontier, journal skip + resume events, retry,
+faults, health guards, tracing, watchdog) to the engine, sharing that
+logic with :class:`~repro.runtime.simulated.SimulatedExecutor` and
+:class:`~repro.runtime.stealing.WorkStealingExecutor`.  It accepts both
+eager :class:`~repro.runtime.graph.TaskGraph` inputs and streaming
+:class:`~repro.runtime.program.GraphProgram` sources.
+
 Resilience layer (see :mod:`repro.resilience`):
 
 * ``retry=RetryPolicy(...)`` re-runs failed tasks with backoff when
@@ -39,16 +48,11 @@ type to handle.
 
 from __future__ import annotations
 
-import threading
-import time
-
-from repro.counters import add_sync, add_words
-from repro.resilience.events import ResilienceEvent
-from repro.resilience.faults import FaultPlan, InjectedFault
-from repro.resilience.recovery import RetryPolicy, RuntimeFailure
+from repro.resilience.faults import FaultPlan
+from repro.resilience.recovery import RetryPolicy
+from repro.runtime.engine import CentralFrontier, ExecutionEngine
 from repro.runtime.graph import TaskGraph
-from repro.runtime.scheduler import ReadyQueue
-from repro.runtime.trace import TaskRecord, Trace
+from repro.runtime.trace import Trace
 
 __all__ = ["ThreadedExecutor"]
 
@@ -105,6 +109,11 @@ class ThreadedExecutor:
     def run(self, graph: TaskGraph, journal=None) -> Trace:
         """Run every task; returns the execution :class:`Trace`.
 
+        *graph* may be an eager :class:`TaskGraph` or a streaming
+        :class:`~repro.runtime.program.GraphProgram`; programs are
+        expanded window by window as predecessors complete, keeping
+        graph construction off the critical path.
+
         Task failures are wrapped in a :class:`RuntimeFailure` carrying
         the partial trace; the watchdog (when armed) additionally
         converts hangs into structured timeout/stall/deadlock failures
@@ -116,315 +125,15 @@ class ThreadedExecutor:
         every task that completes (and passes its health guard) is
         journaled before its successors are released.
         """
-        n = len(graph.tasks)
-        indeg = graph.indegrees()
-        ready = ReadyQueue(self.policy)
-        lock = threading.Lock()
-        work_available = threading.Condition(lock)
-        remaining = n
-        errors: list[BaseException] = []
-        records: list[TaskRecord] = []
-        events: list[ResilienceEvent] = []
-        ran_on: dict[int, int] = {}
-        running: dict[int, tuple] = {}  # core -> (task, monotonic start)
-        progress = [time.monotonic()]  # last completion, for stall detection
-        stop = threading.Event()  # watchdog fired: abandon stuck workers
-        retry = self.retry
-        plan = self.fault_plan
-        t0 = time.perf_counter()
-
-        skipped: set[int] = set()
-        if journal is not None:
-            done_names = journal.bind(graph)
-            if done_names:
-                skipped = {t.tid for t in graph.tasks if t.name in done_names}
-        if skipped:
-            events.append(
-                ResilienceEvent(
-                    "resume",
-                    detail=f"resumed from journal: skipping {len(skipped)}/{n} completed tasks",
-                    value=float(len(skipped)),
-                )
-            )
-            remaining = n - len(skipped)
-            for tid in graph.topological_order():
-                if tid in skipped:
-                    for s in graph.succs[tid]:
-                        indeg[s] -= 1
-
-        for t, d in enumerate(indeg):
-            if d == 0 and t not in skipped:
-                ready.push(graph.tasks[t])
-
-        def record_event(ev: ResilienceEvent) -> None:
-            with lock:
-                events.append(ev)
-
-        def partial_trace() -> Trace:
-            with lock:
-                return Trace(list(records), self.n_workers, list(events))
-
-        def worker(core: int) -> None:
-            nonlocal remaining
-            while True:
-                with work_available:
-                    while not ready and remaining > 0 and not errors:
-                        work_available.wait()
-                    if remaining == 0 or errors:
-                        work_available.notify_all()
-                        return
-                    task = ready.pop()
-                    # Snapshot predecessor placement under the lock:
-                    # ran_on is written by completing workers, so an
-                    # unlocked read would race (and miscount syncs).
-                    placement = [ran_on.get(p, core) for p in graph.preds[task.tid]]
-                    running[core] = (task, time.monotonic())
-                # Account inter-worker synchronization: one sync (and the
-                # task's input volume) per predecessor that ran elsewhere.
-                remote = sum(1 for p in placement if p != core)
-                if remote:
-                    add_sync(remote)
-                    add_words(int(task.cost.words))
-                attempt = 0
-                while True:
-                    start = time.perf_counter() - t0
-                    try:
-                        if plan is not None:
-                            plan.pre_task(task, attempt, record=record_event)
-                        if task.fn is not None:
-                            task.fn()
-                        if plan is not None:
-                            plan.post_task(task, attempt, record=record_event)
-                    except BaseException as exc:  # noqa: BLE001 - handled below
-                        if retry is not None and not errors and retry.should_retry(task, exc, attempt):
-                            record_event(
-                                ResilienceEvent(
-                                    "retry",
-                                    task.name,
-                                    task.tid,
-                                    detail=(
-                                        f"attempt {attempt + 1} after "
-                                        f"{type(exc).__name__}: {exc}"
-                                    ),
-                                )
-                            )
-                            time.sleep(retry.delay(attempt))
-                            attempt += 1
-                            continue
-                        if not isinstance(exc, RuntimeFailure):
-                            kind = "injected" if isinstance(exc, InjectedFault) else "task_error"
-                            failure = RuntimeFailure(
-                                f"task {task.name!r} failed after {attempt + 1} attempt(s): {exc}",
-                                task=task.name,
-                                tid=task.tid,
-                                failure_kind=kind,
-                            )
-                            failure.__cause__ = exc
-                            exc = failure
-                        with work_available:
-                            running.pop(core, None)
-                            errors.append(exc)
-                            remaining -= 1
-                            work_available.notify_all()
-                        return
-                    break
-                end = time.perf_counter() - t0
-                # Numerical health guard, outside the lock (it reads
-                # only blocks this task owns).
-                fatal_event = None
-                guard = task.meta.get("health") if (self.health_checks and task.meta) else None
-                if guard is not None:
-                    verdict = guard()
-                    if verdict is not None:
-                        record_event(verdict)
-                        if verdict.fatal:
-                            fatal_event = verdict
-                # Write-ahead journal entry: only after the guards pass,
-                # so a resumed run never skips a task whose output was
-                # found corrupted.  Outside the lock (may hit disk).
-                if fatal_event is None and journal is not None:
-                    try:
-                        journal.record(task)
-                    except Exception as exc:
-                        with work_available:
-                            running.pop(core, None)
-                            errors.append(
-                                RuntimeFailure(
-                                    f"journal write failed after task {task.name!r}: {exc}",
-                                    task=task.name,
-                                    tid=task.tid,
-                                    failure_kind="task_error",
-                                )
-                            )
-                            remaining -= 1
-                            work_available.notify_all()
-                        return
-                with work_available:
-                    running.pop(core, None)
-                    progress[0] = time.monotonic()
-                    ran_on[task.tid] = core
-                    records.append(TaskRecord(task.tid, task.name, task.kind, core, start, end))
-                    if fatal_event is not None:
-                        errors.append(
-                            RuntimeFailure(
-                                f"health guard failed after task {task.name!r}: "
-                                f"{fatal_event.detail}",
-                                task=task.name,
-                                tid=task.tid,
-                                failure_kind="health",
-                            )
-                        )
-                        remaining -= 1
-                        work_available.notify_all()
-                        return
-                    for s in graph.succs[task.tid]:
-                        indeg[s] -= 1
-                        if indeg[s] == 0 and s not in skipped:
-                            ready.push(graph.tasks[s])
-                    remaining -= 1
-                    work_available.notify_all()
-
-        threads = [
-            threading.Thread(target=worker, args=(c,), name=f"repro-worker-{c}", daemon=True)
-            for c in range(self.n_workers)
-        ]
-
-        watchdog_active = self.task_timeout is not None or self.stall_timeout is not None
-
-        def watchdog() -> None:
-            deadlock_polls = 0
-            while not stop.wait(self.watchdog_poll_s):
-                with work_available:
-                    if remaining <= 0 or errors:
-                        return
-                    now = time.monotonic()
-                    if self.task_timeout is not None:
-                        for core, (task, ts) in list(running.items()):
-                            if now - ts > self.task_timeout:
-                                events.append(
-                                    ResilienceEvent(
-                                        "timeout",
-                                        task.name,
-                                        task.tid,
-                                        detail=(
-                                            f"exceeded task_timeout={self.task_timeout:.3g}s "
-                                            f"on worker {core}"
-                                        ),
-                                        value=now - ts,
-                                        fatal=True,
-                                    )
-                                )
-                                errors.append(
-                                    RuntimeFailure(
-                                        f"task {task.name!r} stalled: ran longer than "
-                                        f"{self.task_timeout:.3g}s on worker {core}",
-                                        task=task.name,
-                                        tid=task.tid,
-                                        failure_kind="timeout",
-                                    )
-                                )
-                                stop.set()
-                                work_available.notify_all()
-                                return
-                    if self.stall_timeout is not None and now - progress[0] > self.stall_timeout:
-                        stalled = ", ".join(t.name for t, _ in running.values()) or "none"
-                        events.append(
-                            ResilienceEvent(
-                                "stall",
-                                detail=(
-                                    f"no task completed for {self.stall_timeout:.3g}s "
-                                    f"(running: {stalled})"
-                                ),
-                                fatal=True,
-                            )
-                        )
-                        errors.append(
-                            RuntimeFailure(
-                                f"runtime stalled: no task completed for "
-                                f"{self.stall_timeout:.3g}s ({n - remaining}/{n} done, "
-                                f"running: {stalled})",
-                                failure_kind="stall",
-                            )
-                        )
-                        stop.set()
-                        work_available.notify_all()
-                        return
-                    dead = [
-                        c
-                        for c, th in enumerate(threads)
-                        if c in running and not th.is_alive()
-                    ]
-                    if dead:
-                        task = running[dead[0]][0]
-                        events.append(
-                            ResilienceEvent(
-                                "worker_death",
-                                task.name,
-                                task.tid,
-                                detail=f"worker {dead[0]} died with task in flight",
-                                fatal=True,
-                            )
-                        )
-                        errors.append(
-                            RuntimeFailure(
-                                f"worker {dead[0]} died while running task {task.name!r}",
-                                task=task.name,
-                                tid=task.tid,
-                                failure_kind="worker_death",
-                            )
-                        )
-                        stop.set()
-                        work_available.notify_all()
-                        return
-                    # Deadlocked queue: tasks remain, nothing runs,
-                    # nothing is ready.  Cannot happen for a valid DAG;
-                    # confirmed over two polls to dodge races.
-                    if remaining > 0 and not running and not ready:
-                        deadlock_polls += 1
-                        if deadlock_polls >= 2:
-                            events.append(
-                                ResilienceEvent(
-                                    "deadlock",
-                                    detail=(
-                                        f"{n - remaining}/{n} tasks done, "
-                                        "none ready or running"
-                                    ),
-                                    fatal=True,
-                                )
-                            )
-                            errors.append(
-                                RuntimeFailure(
-                                    f"runtime deadlock: {n - remaining}/{n} tasks "
-                                    "completed, none ready or running",
-                                    failure_kind="deadlock",
-                                )
-                            )
-                            stop.set()
-                            work_available.notify_all()
-                            return
-                    else:
-                        deadlock_polls = 0
-
-        for th in threads:
-            th.start()
-        watchdog_thread = None
-        if watchdog_active:
-            watchdog_thread = threading.Thread(target=watchdog, name="repro-watchdog", daemon=True)
-            watchdog_thread.start()
-        for th in threads:
-            if not watchdog_active:
-                th.join()
-            else:
-                # A stuck worker cannot be killed; once the watchdog
-                # fires we stop waiting and abandon the daemon thread.
-                while th.is_alive() and not stop.is_set():
-                    th.join(0.05)
-        if watchdog_thread is not None:
-            stop.set()
-            watchdog_thread.join(1.0)
-        if errors:
-            exc = errors[0]
-            if isinstance(exc, RuntimeFailure) and exc.trace is None:
-                exc.trace = partial_trace()
-            raise exc
-        return Trace(records, self.n_workers, events)
+        engine = ExecutionEngine(
+            n_workers=self.n_workers,
+            frontier=CentralFrontier(self.policy),
+            retry=self.retry,
+            fault_plan=self.fault_plan,
+            task_timeout=self.task_timeout,
+            stall_timeout=self.stall_timeout,
+            health_checks=self.health_checks,
+            watchdog_poll_s=self.watchdog_poll_s,
+            thread_name="repro-worker",
+        )
+        return engine.run(graph, journal=journal)

@@ -44,12 +44,24 @@ class Trace:
     fault, degradation, health violation or watchdog finding the run
     produced, as :class:`~repro.resilience.events.ResilienceEvent`
     entries.  Fault-free runs have an empty log.
+
+    ``stats`` carries scheduler-side counters from the
+    :class:`~repro.runtime.engine.ExecutionEngine` (peak live tasks,
+    windows emitted, seconds spent emitting) — empty for traces built
+    by hand or deserialized from old JSON.
     """
 
-    def __init__(self, records: Iterable[TaskRecord], n_cores: int, events: Iterable = ()) -> None:
+    def __init__(
+        self,
+        records: Iterable[TaskRecord],
+        n_cores: int,
+        events: Iterable = (),
+        stats: dict | None = None,
+    ) -> None:
         self.records = sorted(records, key=lambda r: (r.start, r.core))
         self.n_cores = n_cores
         self.events = list(events)
+        self.stats = dict(stats) if stats else {}
 
     @property
     def makespan(self) -> float:
@@ -184,6 +196,7 @@ class Trace:
                 "n_cores": self.n_cores,
                 "makespan": self.makespan,
                 "idle_fraction": self.idle_fraction(),
+                "stats": self.stats,
                 "events": [ev.to_dict() for ev in self.events],
                 "records": [
                     {
@@ -225,7 +238,7 @@ class Trace:
             for r in d.get("records", ())
         ]
         events = [ResilienceEvent.from_dict(ev) for ev in d.get("events", ())]
-        return cls(records, int(d["n_cores"]), events)
+        return cls(records, int(d["n_cores"]), events, stats=d.get("stats"))
 
     def to_chrome_tracing(self, time_unit: float = 1e6) -> str:
         """Serialize to the Chrome tracing JSON format.

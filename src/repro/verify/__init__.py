@@ -12,11 +12,19 @@ that property per graph instead of assuming it:
 * :mod:`repro.verify.sanitize` — dynamic footprint sanitizer and
   random-schedule fuzzer for numeric graphs;
 * :mod:`repro.verify.mutate` — edge-drop mutation used by the CLI
-  self-test to prove the detector detects.
+  self-test to prove the detector detects;
+* :mod:`repro.verify.equivalence` — stream-vs-eager equivalence
+  (streamed :class:`~repro.runtime.program.GraphProgram` builds must
+  match the eager graphs structurally and bitwise in their factors).
 
 Run everything with ``python -m repro.verify``.
 """
 
+from repro.verify.equivalence import (
+    check_stream_equivalence,
+    compare_graphs,
+    compare_results,
+)
 from repro.verify.findings import Finding, Report
 from repro.verify.lint import lint_graph
 from repro.verify.mutate import (
@@ -32,6 +40,9 @@ from repro.verify.sanitize import fuzz_schedules, random_topological_order, sani
 __all__ = [
     "Finding",
     "Report",
+    "check_stream_equivalence",
+    "compare_graphs",
+    "compare_results",
     "lint_graph",
     "check_races",
     "block_accesses",

@@ -4,8 +4,12 @@ Default target matrix: CALU and CAQR graphs across binary and flat
 reduction trees at two sizes each (numeric — static race proof, DAG
 lint, dynamic footprint sanitizer, schedule fuzzer), two larger
 symbolic CALU/CAQR graphs, and the four baseline graphs (static
-passes only).  Exits nonzero when any graph has gating findings
-(``error`` or ``warning``; ``info`` notes never gate).
+passes only).  Every target also runs the stream-vs-eager equivalence
+pass: the builder's :class:`~repro.runtime.program.GraphProgram` is
+grown window-by-window (through a real streamed execution for numeric
+graphs) and must match the eager build task-for-task — and bitwise in
+its computed factors.  Exits nonzero when any graph has gating
+findings (``error`` or ``warning``; ``info`` notes never gate).
 
 ``--self-test`` instead verifies the verifier: it drops a random
 essential dependency edge from a CALU graph and asserts the race
@@ -21,15 +25,16 @@ from typing import Callable
 
 import numpy as np
 
-from repro.baselines.lapack_lu import build_getrf_graph
-from repro.baselines.lapack_qr import build_geqrf_graph
-from repro.baselines.tiled_lu import build_tiled_lu_graph
-from repro.baselines.tiled_qr import build_tiled_qr_graph
-from repro.core.calu import build_calu_graph
-from repro.core.caqr import build_caqr_graph
+from repro.baselines.lapack_lu import build_getrf_graph, getrf_program
+from repro.baselines.lapack_qr import build_geqrf_graph, geqrf_program
+from repro.baselines.tiled_lu import build_tiled_lu_graph, tiled_lu_program
+from repro.baselines.tiled_qr import build_tiled_qr_graph, tiled_qr_program
+from repro.core.calu import build_calu_graph, calu_program
+from repro.core.caqr import build_caqr_graph, caqr_program
 from repro.core.layout import BlockLayout
 from repro.core.trees import TreeKind
 from repro.runtime.graph import TaskGraph
+from repro.verify.equivalence import check_stream_equivalence
 from repro.verify.findings import Report
 from repro.verify.lint import lint_graph
 from repro.verify.mutate import drop_edge, pick_droppable_edge
@@ -45,11 +50,12 @@ def _random_matrix(m: int, n: int, seed: int = _MATRIX_SEED) -> np.ndarray:
     return np.random.default_rng(seed).standard_normal((m, n))
 
 
-def _calu_builder(m: int, n: int, b: int, tr: int, tree: TreeKind):
+def _calu_builder(m: int, n: int, b: int, tr: int, tree: TreeKind, stream: bool = False):
     def build():
         A = _random_matrix(m, n)
         layout = BlockLayout(m, n, b)
-        graph, workspaces = build_calu_graph(layout, tr, tree, A=A, guards=False)
+        make = calu_program if stream else build_calu_graph
+        built, workspaces = make(layout, tr, tree, A=A, guards=False)
 
         def collect() -> list[np.ndarray]:
             out = [A]
@@ -58,16 +64,17 @@ def _calu_builder(m: int, n: int, b: int, tr: int, tree: TreeKind):
                     out.append(np.asarray(ws.piv, dtype=np.int64))
             return out
 
-        return graph, collect
+        return built, collect
 
     return build
 
 
-def _caqr_builder(m: int, n: int, b: int, tr: int, tree: TreeKind):
+def _caqr_builder(m: int, n: int, b: int, tr: int, tree: TreeKind, stream: bool = False):
     def build():
         A = _random_matrix(m, n)
         layout = BlockLayout(m, n, b)
-        graph, stores = build_caqr_graph(layout, tr, tree, A=A, guards=False)
+        make = caqr_program if stream else build_caqr_graph
+        built, stores = make(layout, tr, tree, A=A, guards=False)
 
         def collect() -> list[np.ndarray]:
             out = [A]
@@ -81,18 +88,24 @@ def _caqr_builder(m: int, n: int, b: int, tr: int, tree: TreeKind):
                         out.append(mf.T)
             return out
 
-        return graph, collect
+        return built, collect
 
     return build
 
 
 class Target:
-    """One graph to verify: a fresh-builder plus dynamic-pass config."""
+    """One graph to verify: a fresh-builder plus dynamic-pass config.
 
-    def __init__(self, name: str, build, *, block: int | None = None) -> None:
+    ``stream`` is the same builder returning a
+    :class:`~repro.runtime.program.GraphProgram` instead of an eager
+    graph — when present the stream-vs-eager equivalence pass runs.
+    """
+
+    def __init__(self, name: str, build, *, block: int | None = None, stream=None) -> None:
         self.name = name
         self.build = build
         self.block = block  # block size for the sanitizer; None = static only
+        self.stream = stream
 
     @property
     def numeric(self) -> bool:
@@ -108,6 +121,7 @@ def default_targets() -> list[Target]:
                     f"calu-{tree.value}-{m}x{n}",
                     _calu_builder(m, n, b, tr, tree),
                     block=b,
+                    stream=_calu_builder(m, n, b, tr, tree, stream=True),
                 )
             )
             targets.append(
@@ -115,6 +129,7 @@ def default_targets() -> list[Target]:
                     f"caqr-{tree.value}-{m}x{n}",
                     _caqr_builder(m, n, b, tr, tree),
                     block=b,
+                    stream=_caqr_builder(m, n, b, tr, tree, stream=True),
                 )
             )
     # Larger symbolic graphs: static proof scales past what we execute.
@@ -126,6 +141,10 @@ def default_targets() -> list[Target]:
                     build_calu_graph(BlockLayout(256, 128, 16), 4, tree)[0],
                     None,
                 ),
+                stream=lambda tree=tree: (
+                    calu_program(BlockLayout(256, 128, 16), 4, tree)[0],
+                    None,
+                ),
             )
         )
         targets.append(
@@ -135,19 +154,39 @@ def default_targets() -> list[Target]:
                     build_caqr_graph(BlockLayout(256, 128, 16), 4, tree)[0],
                     None,
                 ),
+                stream=lambda tree=tree: (
+                    caqr_program(BlockLayout(256, 128, 16), 4, tree)[0],
+                    None,
+                ),
             )
         )
     targets.append(
-        Target("tiled-lu-sym-64x64", lambda: (build_tiled_lu_graph(64, 64, nb=16), None))
+        Target(
+            "tiled-lu-sym-64x64",
+            lambda: (build_tiled_lu_graph(64, 64, nb=16), None),
+            stream=lambda: (tiled_lu_program(64, 64, nb=16), None),
+        )
     )
     targets.append(
-        Target("tiled-qr-sym-64x64", lambda: (build_tiled_qr_graph(64, 64, nb=16), None))
+        Target(
+            "tiled-qr-sym-64x64",
+            lambda: (build_tiled_qr_graph(64, 64, nb=16), None),
+            stream=lambda: (tiled_qr_program(64, 64, nb=16), None),
+        )
     )
     targets.append(
-        Target("getrf-sym-128x128", lambda: (build_getrf_graph(128, 128, b=32), None))
+        Target(
+            "getrf-sym-128x128",
+            lambda: (build_getrf_graph(128, 128, b=32), None),
+            stream=lambda: (getrf_program(128, 128, b=32), None),
+        )
     )
     targets.append(
-        Target("geqrf-sym-128x128", lambda: (build_geqrf_graph(128, 128, b=32), None))
+        Target(
+            "geqrf-sym-128x128",
+            lambda: (build_geqrf_graph(128, 128, b=32), None),
+            stream=lambda: (geqrf_program(128, 128, b=32), None),
+        )
     )
     return targets
 
@@ -183,19 +222,31 @@ def _verify_target(target: Target, fuzz_runs: int, static_only: bool, seed: int)
     built = target.build()
     graph = built[0]
     if static_only or not target.numeric:
-        return verify_graph(graph, label=target.name)
-    # Recover the matrix the closures mutate: collect()'s first array.
-    collect = built[1]
-    A = collect()[0]
-    return verify_graph(
-        graph,
-        A=A,
-        block=target.block,
-        fuzz_build=target.build,
-        fuzz_runs=fuzz_runs,
-        seed=seed,
-        label=target.name,
-    )
+        report = verify_graph(graph, label=target.name)
+    else:
+        # Recover the matrix the closures mutate: collect()'s first array.
+        collect = built[1]
+        A = collect()[0]
+        report = verify_graph(
+            graph,
+            A=A,
+            block=target.block,
+            fuzz_build=target.build,
+            fuzz_runs=fuzz_runs,
+            seed=seed,
+            label=target.name,
+        )
+    if target.stream is not None:
+        report.extend(
+            "equivalence",
+            check_stream_equivalence(
+                target.name,
+                target.stream,
+                target.build,
+                execute=not static_only,
+            ),
+        )
+    return report
 
 
 def self_test(seed: int = 0, verbose: bool = False) -> int:

@@ -1,0 +1,195 @@
+"""Stream-vs-eager equivalence: streamed programs must match eager graphs.
+
+The builders in :mod:`repro.core` and :mod:`repro.baselines` emit
+:class:`~repro.runtime.program.GraphProgram` objects whose windows are
+materialized incrementally — during execution, interleaved with task
+completions under the look-ahead window.  The eager interface
+(``build_*_graph``) is the same program materialized in one shot.  This
+pass proves the two are indistinguishable:
+
+* **structural** — two independent builds, one grown window-by-window
+  (through a real streamed execution when the graph is numeric), must
+  agree task-for-task: names, kinds, costs, priorities, iterations,
+  declared footprints and predecessor lists;
+* **behavioral** — for numeric graphs, the streamed run's factors must
+  reproduce a sequential eager run bitwise.
+
+Any divergence is a builder bug: an ``emit`` callback that depends on
+completion timing, cross-window closure state restored in the wrong
+order, or an epilogue computed over a partially emitted graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.runtime.graph import TaskGraph
+from repro.runtime.program import GraphProgram
+from repro.verify.findings import Finding
+
+__all__ = ["check_stream_equivalence", "compare_graphs", "compare_results"]
+
+_RULE = "stream-eager-mismatch"
+
+
+def _task_diffs(ts, te) -> list[str]:
+    """Human-readable field divergences between one streamed/eager task pair."""
+    diffs: list[str] = []
+    if ts.name != te.name:
+        diffs.append(f"name {ts.name!r} != {te.name!r}")
+    if ts.kind != te.kind:
+        diffs.append(f"kind {ts.kind.value} != {te.kind.value}")
+    if ts.cost != te.cost:
+        diffs.append(f"cost {ts.cost} != {te.cost}")
+    if ts.priority != te.priority:
+        diffs.append(f"priority {ts.priority:g} != {te.priority:g}")
+    if ts.iteration != te.iteration:
+        diffs.append(f"iteration {ts.iteration} != {te.iteration}")
+    if ts.idempotent != te.idempotent:
+        diffs.append(f"idempotent {ts.idempotent} != {te.idempotent}")
+    if ts.reads != te.reads:
+        diffs.append("declared read footprints differ")
+    if ts.writes != te.writes:
+        diffs.append("declared write footprints differ")
+    if (ts.fn is None) != (te.fn is None):
+        diffs.append(f"numeric closure {'missing' if ts.fn is None else 'unexpected'} in streamed build")
+    return diffs
+
+
+def compare_graphs(
+    streamed: TaskGraph,
+    eager: TaskGraph,
+    *,
+    graph: str | None = None,
+    limit: int = 10,
+) -> list[Finding]:
+    """Compare a streamed-materialized graph against an eager build.
+
+    Emits one ``error`` finding per divergent task (capped at *limit*)
+    plus one for any task-count or edge mismatch.  An empty list means
+    the two builds are identical up to the numeric closures' identity.
+    """
+    name = graph or eager.name
+    findings: list[Finding] = []
+    if streamed.name != eager.name:
+        findings.append(
+            Finding(
+                _RULE,
+                "error",
+                name,
+                f"graph names differ: streamed {streamed.name!r} vs eager {eager.name!r}; "
+                "the program factory and the eager builder disagree on identity",
+            )
+        )
+    if len(streamed.tasks) != len(eager.tasks):
+        findings.append(
+            Finding(
+                _RULE,
+                "error",
+                name,
+                f"streamed build emitted {len(streamed.tasks)} tasks but the eager build "
+                f"has {len(eager.tasks)}; some window emitted a different task set",
+            )
+        )
+        return findings
+    reported = 0
+    for ts, te in zip(streamed.tasks, eager.tasks):
+        diffs = _task_diffs(ts, te)
+        if streamed.preds[ts.tid] != eager.preds[te.tid]:
+            diffs.append(
+                f"preds {streamed.preds[ts.tid]} != {eager.preds[te.tid]}"
+            )
+        if diffs:
+            if reported < limit:
+                findings.append(
+                    Finding(
+                        _RULE,
+                        "error",
+                        name,
+                        f"task #{ts.tid} diverges between streamed and eager builds: "
+                        + "; ".join(diffs),
+                        tasks=(ts.tid,),
+                    )
+                )
+            reported += 1
+    if reported > limit:
+        findings.append(
+            Finding(
+                _RULE,
+                "error",
+                name,
+                f"{reported - limit} further divergent tasks suppressed",
+            )
+        )
+    return findings
+
+
+def compare_results(
+    streamed: list[np.ndarray],
+    eager: list[np.ndarray],
+    *,
+    graph: str,
+) -> list[Finding]:
+    """Bitwise-compare the numeric outputs of a streamed and an eager run."""
+    findings: list[Finding] = []
+    if len(streamed) != len(eager):
+        return [
+            Finding(
+                _RULE,
+                "error",
+                graph,
+                f"streamed run produced {len(streamed)} output arrays, eager run "
+                f"{len(eager)}; the collectors disagree",
+            )
+        ]
+    for idx, (s, e) in enumerate(zip(streamed, eager)):
+        if s.shape != e.shape or not np.array_equal(s, e):
+            findings.append(
+                Finding(
+                    _RULE,
+                    "error",
+                    graph,
+                    f"output array {idx} differs bitwise between the streamed run "
+                    f"(shape {s.shape}) and the eager run (shape {e.shape}); "
+                    "streaming must not change the computed factors",
+                )
+            )
+    return findings
+
+
+def check_stream_equivalence(
+    name: str,
+    build_stream: Callable[[], tuple[GraphProgram, Callable | None]],
+    build_eager: Callable[[], tuple[TaskGraph, Callable | None]],
+    *,
+    execute: bool = True,
+    n_workers: int = 2,
+) -> list[Finding]:
+    """Prove one builder's streamed program matches its eager graph.
+
+    *build_stream* returns ``(program, collect)`` and *build_eager*
+    returns ``(graph, collect)`` — independent fresh builds (same seed)
+    whose ``collect`` callables (``None`` for symbolic graphs) gather
+    the numeric outputs to compare.  When both sides are numeric and
+    *execute* is true, the program is run **streamed** through a
+    threaded engine-backed executor (windows emitted as predecessors
+    complete) against a sequential eager run; otherwise the program is
+    materialized in one shot and only structure is compared.
+    """
+    program, collect_s = build_stream()
+    eager, collect_e = build_eager()
+    numeric = execute and collect_s is not None and collect_e is not None
+    if numeric:
+        from repro.runtime.threaded import ThreadedExecutor
+
+        ThreadedExecutor(n_workers).run(program)
+        streamed_graph = program.graph
+    else:
+        streamed_graph = program.materialize()
+    findings = compare_graphs(streamed_graph, eager, graph=name)
+    if numeric:
+        eager.run_sequential()
+        findings.extend(compare_results(collect_s(), collect_e(), graph=name))
+    return findings

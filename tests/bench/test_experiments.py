@@ -130,6 +130,7 @@ def test_registry_complete():
         "table3",
         "tree_ablation",
         "lookahead_ablation",
+        "lookahead_depth_ablation",
         "overhead_ablation",
         "stability",
         "bb_extension",

@@ -1,4 +1,4 @@
-"""Property test: random DAGs under injected failures, both executors.
+"""Property test: random DAGs under injected failures, all executors.
 
 The invariant (the satellite's acceptance criterion): for any DAG shape
 and any deterministic fault plan, an executor run either
@@ -23,8 +23,16 @@ from repro.resilience.faults import FaultPlan
 from repro.resilience.recovery import RetryPolicy, RuntimeFailure
 from repro.runtime.graph import TaskGraph
 from repro.runtime.simulated import SimulatedExecutor
+from repro.runtime.stealing import WorkStealingExecutor
 from repro.runtime.task import Cost, TaskKind
 from repro.runtime.threaded import ThreadedExecutor
+
+# Both thread-pool front-ends share the engine's retry/fault/journal
+# lifecycle, so the executor-semantics properties must hold for both.
+POOL_EXECUTORS = [
+    pytest.param(ThreadedExecutor, id="threaded"),
+    pytest.param(WorkStealingExecutor, id="stealing"),
+]
 
 
 def value_graph(seed: int, n_tasks: int) -> tuple[TaskGraph, dict, list]:
@@ -74,12 +82,13 @@ def assert_trace_dependency_closed(trace, deps_record) -> None:
         assert not missing, f"t{r.tid} recorded but its deps {missing} are not"
 
 
+@pytest.mark.parametrize("executor_cls", POOL_EXECUTORS)
 @settings(max_examples=25, deadline=None)
 @given(seed=st.integers(0, 10_000), n_tasks=st.integers(1, 24))
-def test_threaded_transient_faults_never_corrupt_dataflow(seed, n_tasks):
+def test_pool_transient_faults_never_corrupt_dataflow(executor_cls, seed, n_tasks):
     g, vals, deps = value_graph(seed, n_tasks)
     plan = FaultPlan(seed, raise_rate=0.3, transient=True)
-    ex = ThreadedExecutor(
+    ex = executor_cls(
         3, fault_plan=plan, retry=RetryPolicy(max_retries=3, backoff_s=1e-5)
     )
     trace = ex.run(g)
@@ -87,14 +96,15 @@ def test_threaded_transient_faults_never_corrupt_dataflow(seed, n_tasks):
     assert len(trace.records) == n_tasks
 
 
+@pytest.mark.parametrize("executor_cls", POOL_EXECUTORS)
 @settings(max_examples=25, deadline=None)
 @given(seed=st.integers(0, 10_000), n_tasks=st.integers(1, 24))
-def test_threaded_permanent_faults_fail_structured(seed, n_tasks):
+def test_pool_permanent_faults_fail_structured(executor_cls, seed, n_tasks):
     g, vals, deps = value_graph(seed, n_tasks)
     # Permanent faults with no retry budget: either the plan happened to
     # spare every task, or the run dies structured with a closed trace.
     plan = FaultPlan(seed, raise_rate=0.3)
-    ex = ThreadedExecutor(3, fault_plan=plan, retry=RetryPolicy(max_retries=0))
+    ex = executor_cls(3, fault_plan=plan, retry=RetryPolicy(max_retries=0))
     try:
         trace = ex.run(g)
     except RuntimeFailure as e:
@@ -138,14 +148,15 @@ def test_simulated_matches_threaded_failure_verdict(seed, n_tasks):
     assert threaded == simulated
 
 
+@pytest.mark.parametrize("executor_cls", POOL_EXECUTORS)
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(0, 10_000))
-def test_worker_count_does_not_change_results(seed):
+def test_worker_count_does_not_change_results(executor_cls, seed):
     results = []
     for workers in (1, 2, 4):
         g, vals, deps = value_graph(seed, 16)
         plan = FaultPlan(seed, raise_rate=0.4, stall_rate=0.2, stall_s=1e-4, transient=True)
-        ex = ThreadedExecutor(
+        ex = executor_cls(
             workers, fault_plan=plan, retry=RetryPolicy(max_retries=4, backoff_s=1e-5)
         )
         ex.run(g)
