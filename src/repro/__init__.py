@@ -76,6 +76,7 @@ _EXPORTS = {
     "intel8_mkl": "repro.machine.presets",
     "TaskGraph": "repro.runtime.graph",
     "SimulatedExecutor": "repro.runtime.simulated",
+    "ProcessExecutor": "repro.runtime.process",
     "ThreadedExecutor": "repro.runtime.threaded",
     "WorkStealingExecutor": "repro.runtime.stealing",
     "calibrate_host": "repro.machine.calibrate",

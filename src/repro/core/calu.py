@@ -191,6 +191,7 @@ def calu_program(
     checkpoint=None,
     abft: bool = False,
     recompute: bool = True,
+    shm=None,
 ) -> tuple[GraphProgram, list[PanelWorkspace]]:
     """Build the CALU task graph as a streaming :class:`GraphProgram`.
 
@@ -232,6 +233,13 @@ def calu_program(
     checksum verification that repairs single-element corruption in
     place.  *recompute* enables the TSLU tournament-replay rung of the
     recovery ladder (see :func:`repro.core.tslu.add_tslu_tasks`).
+
+    *shm* (a :class:`~repro.runtime.shm.ShmBinding` whose matrix view
+    **is** *A*; numeric runs only) additionally attaches ``meta["op"]``
+    descriptors to the P/L/U/S tasks so a
+    :class:`~repro.runtime.process.ProcessExecutor` can dispatch them to
+    worker processes; checkpoint, ABFT and left-swap tasks keep only
+    their closures and run inline in the parent.
     """
     numeric = A is not None
     m, n, b, N = layout.m, layout.n, layout.b, layout.N
@@ -274,6 +282,7 @@ def calu_program(
             guards=guards,
             absmax=absmax,
             recompute=recompute,
+            shm=shm,
         )
 
         # Task L: blocks of the current column of L (dtrsm).
@@ -291,6 +300,12 @@ def calu_program(
                 library=library,
             )
             blocks = [(i, K) for i in range(r0 // b, chunk.b1)]
+            l_meta = {}
+            if shm is not None and numeric:
+                l_meta["op"] = (
+                    "calu_l",
+                    {"a": shm.a_spec, "k0": k0, "c0": c0, "c1": c1, "r0": r0, "r1": chunk.r1},
+                )
             tracker.add_task(
                 graph,
                 f"L[{K}]{chunk.index}",
@@ -301,6 +316,7 @@ def calu_program(
                 writes=blocks,
                 priority=task_priority("L", K, lookahead=lookahead, n_cols=N),
                 iteration=K,
+                **l_meta,
             )
 
         # Tasks U and S per trailing column segment.  Usually a segment
@@ -338,6 +354,22 @@ def calu_program(
                 library=upd_lib,
             )
             u_writes = [blk for Jc in jcols for blk in layout.active_blocks(K, Jc)]
+            u_meta = {}
+            if shm is not None and numeric:
+                u_meta["op"] = (
+                    "calu_u",
+                    {
+                        "a": shm.a_spec,
+                        "m": m,
+                        "k0": k0,
+                        "bk": bk,
+                        "c0": c0,
+                        "c1": c1,
+                        "j0": j0,
+                        "j1": j1,
+                        "piv": shm.piv_specs[K][1],
+                    },
+                )
             u_tid = tracker.add_task(
                 graph,
                 f"U[{K}]{J}",
@@ -352,6 +384,7 @@ def calu_program(
                 priority=task_priority("U", K, J, lookahead=lookahead, n_cols=N),
                 iteration=K,
                 col=J,
+                **u_meta,
             )
             for chunk in chunks:
                 r0 = max(chunk.r0, k0 + bk)
@@ -382,6 +415,23 @@ def calu_program(
                 else:
                     s_fn = _s_fn(A, k0, bk, c0, c1, r0, chunk.r1, j0, j1) if numeric else None
                     s_meta = {}
+                if shm is not None and numeric and not (guards and abft):
+                    # ABFT S tasks keep closure-only execution: the
+                    # checksum cell lives in the parent process.
+                    s_meta["op"] = (
+                        "calu_s",
+                        {
+                            "a": shm.a_spec,
+                            "k0": k0,
+                            "bk": bk,
+                            "c0": c0,
+                            "c1": c1,
+                            "r0": r0,
+                            "r1": chunk.r1,
+                            "j0": j0,
+                            "j1": j1,
+                        },
+                    )
                 tracker.add_task(
                     graph,
                     s_name,
@@ -661,6 +711,22 @@ def calu(
     if b is None:
         b = min(100, n)
     layout = BlockLayout(m, n, b)
+    from repro.runtime.process import ProcessExecutor, resolve_executor
+
+    if executor is None:
+        executor = ThreadedExecutor(min(tr, 4))
+    executor, owned_executor = resolve_executor(executor, min(tr, 4))
+    use_shm = isinstance(executor, ProcessExecutor)
+    arena = shm = None
+    if use_shm:
+        # Process backend: the matrix moves onto the shared-memory tile
+        # plane so worker processes factor it in place; results are
+        # copied back out below (see repro.runtime.shm).
+        from repro.runtime.shm import SharedArena, ShmBinding
+
+        arena = SharedArena()
+        A = arena.place(A)
+        shm = ShmBinding(arena, A)
     program, workspaces = calu_program(
         layout,
         tr,
@@ -673,9 +739,8 @@ def calu(
         checkpoint=checkpoint,
         abft=abft,
         recompute=tournament_recompute,
+        shm=shm,
     )
-    if executor is None:
-        executor = ThreadedExecutor(min(tr, 4))
     # Engine-backed executors consume the streaming program directly,
     # keeping graph construction off the critical path; a caller-made
     # (duck-typed) executor gets the materialized eager graph, which is
@@ -729,23 +794,33 @@ def calu(
     plan = getattr(executor, "fault_plan", None)
     if plan is not None and plan.target is None:
         plan.target = A
-    trace = executor.run(source, journal=journal) if journal is not None else executor.run(source)
-    if guards and not np.isfinite(A).all():
-        # Last line of defense: a corruption that landed outside every
-        # guarded block (e.g. in an already-finished region) must still
-        # surface as a structured failure, never as wrong factors.
-        raise RuntimeFailure(
-            "CALU produced non-finite factors (undetected corruption)",
-            failure_kind="health",
-            trace=trace,
+    try:
+        trace = (
+            executor.run(source, journal=journal) if journal is not None else executor.run(source)
         )
-    r = min(m, n)
-    piv = np.arange(r, dtype=np.int64)
-    for K, ws in enumerate(workspaces):
-        k0 = K * b
-        bk = layout.panel_width(K)
-        assert ws.piv is not None
-        piv[k0 : k0 + bk] = ws.piv[:bk] + k0
+        if guards and not np.isfinite(A).all():
+            # Last line of defense: a corruption that landed outside every
+            # guarded block (e.g. in an already-finished region) must still
+            # surface as a structured failure, never as wrong factors.
+            raise RuntimeFailure(
+                "CALU produced non-finite factors (undetected corruption)",
+                failure_kind="health",
+                trace=trace,
+            )
+        r = min(m, n)
+        piv = np.arange(r, dtype=np.int64)
+        for K, ws in enumerate(workspaces):
+            k0 = K * b
+            bk = layout.panel_width(K)
+            assert ws.piv is not None
+            piv[k0 : k0 + bk] = ws.piv[:bk] + k0
+        if use_shm:
+            A = np.array(A)  # copy the factors off the arena
+    finally:
+        if arena is not None:
+            arena.destroy()
+        if owned_executor and use_shm:
+            executor.close()
     degraded = tuple(K for K, ws in enumerate(workspaces) if ws.degraded)
     recovered = tuple(K for K, ws in enumerate(workspaces) if ws.recomputed)
     return CALUFactorization(

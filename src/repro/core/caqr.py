@@ -116,6 +116,7 @@ def caqr_program(
     arity: int = 4,
     guards: bool = True,
     checkpoint=None,
+    shm=None,
 ) -> tuple[GraphProgram, list[PanelQRStore]]:
     """Build the CAQR task graph as a streaming :class:`GraphProgram`.
 
@@ -132,6 +133,12 @@ def caqr_program(
     surfaces as a fatal structured failure rather than silently wrong
     factors.  *checkpoint* adds per-boundary ``C[K]`` snapshot tasks
     exactly as in :func:`repro.core.calu.build_calu_graph`.
+
+    *shm* (a :class:`~repro.runtime.shm.ShmBinding` whose matrix view
+    **is** *A*; numeric runs only) attaches ``meta["op"]`` descriptors
+    to the P and S tasks for
+    :class:`~repro.runtime.process.ProcessExecutor` dispatch; the WY
+    factors then live in shared-memory buffers referenced by spec.
     """
     numeric = A is not None
     guards = guards and numeric
@@ -166,6 +173,7 @@ def caqr_program(
             library=library,
             leaf_kernel=leaf_kernel,
             arity=arity,
+            shm=shm,
         )
         panel_q_keys.append(
             [("qleaf", K, slot) for slot in sorted(handles.leaf_tids)]
@@ -214,6 +222,20 @@ def caqr_program(
                     if guards
                     else {}
                 )
+                if shm is not None and numeric:
+                    v_spec, t_spec = handles.leaf_bufs[slot]
+                    s_meta["op"] = (
+                        "caqr_leaf_update",
+                        {
+                            "a": shm.a_spec,
+                            "r0": chunk.r0,
+                            "r1": chunk.r1,
+                            "j0": j0,
+                            "j1": j1,
+                            "v": v_spec,
+                            "t": t_spec,
+                        },
+                    )
                 tracker.add_task(
                     graph,
                     s_name,
@@ -253,6 +275,21 @@ def caqr_program(
                     if guards
                     else {}
                 )
+                if shm is not None and numeric:
+                    s_meta["op"] = (
+                        "caqr_merge_update",
+                        {
+                            "a": shm.a_spec,
+                            "j0": j0,
+                            "j1": j1,
+                            "pairs": [
+                                (top0, bot0, bk, vb_spec, t_spec)
+                                for top0, bot0, vb_spec, t_spec in handles.merge_bufs[
+                                    step.ordinal
+                                ]
+                            ],
+                        },
+                    )
                 tracker.add_task(
                     graph,
                     s_name,
@@ -446,6 +483,21 @@ def caqr(
     if b is None:
         b = min(100, n)
     layout = BlockLayout(m, n, b)
+    from repro.runtime.process import ProcessExecutor, resolve_executor
+
+    if executor is None:
+        executor = ThreadedExecutor(min(tr, 4))
+    executor, owned_executor = resolve_executor(executor, min(tr, 4))
+    use_shm = isinstance(executor, ProcessExecutor)
+    arena = shm = None
+    if use_shm:
+        # Process backend: matrix and WY factors live on the shared-
+        # memory tile plane; results are copied back out below.
+        from repro.runtime.shm import SharedArena, ShmBinding
+
+        arena = SharedArena()
+        A = arena.place(A)
+        shm = ShmBinding(arena, A)
     program, stores = caqr_program(
         layout,
         tr,
@@ -455,9 +507,8 @@ def caqr(
         leaf_kernel=leaf_kernel,
         guards=guards,
         checkpoint=checkpoint,
+        shm=shm,
     )
-    if executor is None:
-        executor = ThreadedExecutor(min(tr, 4))
     # Stream through engine-backed executors; materialize for
     # caller-made (duck-typed) ones — the historical contract.
     source = program if supports_streaming(executor) else program.materialize()
@@ -511,11 +562,27 @@ def caqr(
     plan = getattr(executor, "fault_plan", None)
     if plan is not None and plan.target is None:
         plan.target = A
-    trace = executor.run(source, journal=journal) if journal is not None else executor.run(source)
-    if guards and not np.isfinite(A).all():
-        raise RuntimeFailure(
-            "CAQR produced non-finite factors (undetected corruption)",
-            failure_kind="health",
-            trace=trace,
+    try:
+        trace = (
+            executor.run(source, journal=journal) if journal is not None else executor.run(source)
         )
+        if guards and not np.isfinite(A).all():
+            raise RuntimeFailure(
+                "CAQR produced non-finite factors (undetected corruption)",
+                failure_kind="health",
+                trace=trace,
+            )
+        if use_shm:
+            # Copy the packed factors and implicit-Q stores off the
+            # arena before teardown.
+            A = np.array(A)
+            stores = [
+                PanelQRStore.from_arrays({k: np.array(v) for k, v in s.to_arrays().items()})
+                for s in stores
+            ]
+    finally:
+        if arena is not None:
+            arena.destroy()
+        if owned_executor and use_shm:
+            executor.close()
     return CAQRFactorization(packed=A, panels=stores, b=b, tr=tr, tree=tree, trace=trace)

@@ -290,6 +290,46 @@ def _finalize_fn(
     return fn
 
 
+def _mirror_degraded(guard, flags: np.ndarray):
+    """Wrap a candidate guard so a parent-side degradation verdict is
+    also visible to worker processes via the panel's shared flags."""
+
+    def wrapped() -> ResilienceEvent | None:
+        ev = guard()
+        if ev is not None:
+            flags[0] = 1
+        return ev
+
+    return wrapped
+
+
+def _slot_sync(ws: PanelWorkspace, slot: int, rows, gidx, count, flags=None):
+    """op_sync hook: mirror a worker-written candidate slot into the
+    parent workspace as live shared-memory views (so parent-side guards
+    and corruption hooks see — and touch — the worker's data)."""
+
+    def sync() -> None:
+        n = int(count[0])
+        ws.cand_rows[slot] = rows[:n]
+        ws.cand_gidx[slot] = gidx[:n]
+        if flags is not None and flags[0]:
+            ws.degraded = True
+
+    return sync
+
+
+def _finalize_sync(ws: PanelWorkspace, piv, flags):
+    """op_sync hook: publish the worker-selected pivots and the panel's
+    degraded/recomputed verdict into the parent workspace."""
+
+    def sync() -> None:
+        ws.piv = piv[1 : 1 + int(piv[0])]
+        ws.degraded = bool(flags[0])
+        ws.recomputed = bool(flags[1])
+
+    return sync
+
+
 def add_tslu_tasks(
     graph: TaskGraph,
     tracker: BlockTracker,
@@ -307,6 +347,7 @@ def add_tslu_tasks(
     guards: bool = True,
     absmax: float | None = None,
     recompute: bool = True,
+    shm=None,
 ) -> int:
     """Emit the TSLU tasks for panel *K*; returns the finalize task id.
 
@@ -323,6 +364,13 @@ def add_tslu_tasks(
     the finalize task.  *recompute* lets the finalize task repair a
     corrupted tournament by replaying it from the clean panel data
     (identical pivots) before degrading to partial pivoting.
+
+    With *shm* (a :class:`~repro.runtime.shm.ShmBinding`; numeric runs
+    only), every task additionally carries a ``meta["op"]`` descriptor
+    dispatchable to a :class:`~repro.runtime.process.ProcessExecutor`
+    worker: candidate slots, the degradation flags and the pivot
+    sequence live in arena buffers, and ``meta["op_sync"]`` mirrors them
+    into the parent :class:`PanelWorkspace` after each completion.
     """
     c0, c1 = layout.col_range(K)
     c1 = min(c1, K * layout.b + layout.panel_width(K))
@@ -333,6 +381,22 @@ def add_tslu_tasks(
     if numeric and ws is not None:
         ws.allow_recompute = bool(recompute)
     prio_p = task_priority("P", K, lookahead=lookahead, n_cols=layout.N)
+
+    # Shared-memory workspace for descriptor dispatch: one candidate
+    # buffer triple (rows, gidx, count) per tournament slot, a flags
+    # pair [degraded, recomputed] and a length-prefixed pivot buffer.
+    slot_bufs: dict[int, tuple] = {}  # slot -> ((views), (specs))
+    flags = flags_spec = piv_buf = piv_spec = None
+    if shm is not None and numeric:
+        for chunk in chunks:
+            rows_v, rows_s = shm.alloc((bk, bk))
+            gidx_v, gidx_s = shm.alloc((bk,), np.int64)
+            count_v, count_s = shm.alloc((1,), np.int64)
+            slot_bufs[chunk.index] = ((rows_v, gidx_v, count_v), (rows_s, gidx_s, count_s))
+        flags_view, flags_spec = shm.alloc((2,), np.int64)
+        flags = flags_view
+        piv_buf, piv_spec = shm.alloc((m - k0 + 1,), np.int64)
+        shm.piv_specs[K] = (piv_buf, piv_spec)
 
     # Workspace footprint keys: candidate buffers live outside the
     # block grid, so the tournament's dataflow through them is tracked
@@ -359,6 +423,26 @@ def add_tslu_tasks(
         if numeric and guards:
             meta["health"] = _candidate_guard(ws, chunk.index, K, name)
             meta["corrupt"] = _corrupt_candidates(ws, chunk.index)
+        if slot_bufs:
+            (rows_v, gidx_v, count_v), (rows_s, gidx_s, count_s) = slot_bufs[chunk.index]
+            meta["op"] = (
+                "tslu_leaf",
+                {
+                    "a": shm.a_spec,
+                    "r0": chunk.r0,
+                    "r1": chunk.r1,
+                    "c0": c0,
+                    "c1": c1,
+                    "k0": k0,
+                    "leaf_kernel": leaf_kernel,
+                    "rows": rows_s,
+                    "gidx": gidx_s,
+                    "count": count_s,
+                },
+            )
+            meta["op_sync"] = _slot_sync(ws, chunk.index, rows_v, gidx_v, count_v)
+            if "health" in meta:
+                meta["health"] = _mirror_degraded(meta["health"], flags)
         producer[chunk.index] = tracker.add_task(
             graph,
             name,
@@ -395,6 +479,21 @@ def add_tslu_tasks(
             if numeric and guards:
                 meta["health"] = _candidate_guard(ws, dst, K, name)
                 meta["corrupt"] = _corrupt_candidates(ws, dst)
+            if slot_bufs:
+                (rows_v, gidx_v, count_v), dst_specs = slot_bufs[dst]
+                meta["op"] = (
+                    "tslu_merge",
+                    {
+                        "srcs": [slot_bufs[s][1] for s in srcs],
+                        "dst": dst_specs,
+                        "bk": bk,
+                        "leaf_kernel": leaf_kernel,
+                        "flags": flags_spec,
+                    },
+                )
+                meta["op_sync"] = _slot_sync(ws, dst, rows_v, gidx_v, count_v, flags)
+                if "health" in meta:
+                    meta["health"] = _mirror_degraded(meta["health"], flags)
             # Dependencies are derived from the candidate-slot keys:
             # RAW on each source producer, WAW on the previous writer
             # of the destination slot — identical to the hand-wired
@@ -431,6 +530,26 @@ def add_tslu_tasks(
     meta = {}
     if numeric and guards:
         meta["health"] = _panel_guard(A, k0, r, c0, c1, ws, K, absmax, name)
+    if slot_bufs:
+        meta["op"] = (
+            "tslu_finalize",
+            {
+                "a": shm.a_spec,
+                "k0": k0,
+                "m": m,
+                "c0": c0,
+                "c1": c1,
+                "root": slot_bufs[root][1],
+                "flags": flags_spec,
+                "piv": piv_spec,
+                "chunks": [(c.index, c.r0, c.r1) for c in chunks],
+                "tree": tree.value,
+                "arity": arity,
+                "leaf_kernel": leaf_kernel,
+                "allow_recompute": bool(recompute),
+            },
+        )
+        meta["op_sync"] = _finalize_sync(ws, piv_buf, flags)
     # The finalize swaps + factors the whole active panel column (its
     # declared writes), consumes the tournament winner and publishes
     # the pivot sequence the U tasks and the deferred left swaps read.
@@ -456,6 +575,7 @@ def tslu_program(
     tree: TreeKind = TreeKind.BINARY,
     *,
     leaf_kernel: str = "rgetf2",
+    shm=None,
 ) -> tuple[GraphProgram, PanelWorkspace]:
     """Streaming program for one standalone TSLU panel.
 
@@ -480,7 +600,16 @@ def tslu_program(
     def emit(window: int, graph: TaskGraph, tracker: BlockTracker) -> None:
         if window == 0:
             add_tslu_tasks(
-                graph, tracker, layout, 0, chunks, tree, A=A, ws=ws, leaf_kernel=leaf_kernel
+                graph,
+                tracker,
+                layout,
+                0,
+                chunks,
+                tree,
+                A=A,
+                ws=ws,
+                leaf_kernel=leaf_kernel,
+                shm=shm,
             )
             return
         # L tasks: the rows below the pivot block, one trsm per chunk.
@@ -495,6 +624,12 @@ def tslu_program(
                 flops=trsm_right_flops(chunk.r1 - r0, n),
                 words=2.0 * (chunk.r1 - r0) * n,
             )
+            meta = {}
+            if shm is not None:
+                meta["op"] = (
+                    "calu_l",
+                    {"a": shm.a_spec, "k0": 0, "c0": 0, "c1": n, "r0": r0, "r1": chunk.r1},
+                )
             tracker.add_task(
                 graph,
                 f"L[0]{chunk.index}",
@@ -504,6 +639,7 @@ def tslu_program(
                 reads=[(0, 0)],
                 writes=chunk.blocks(0),
                 priority=task_priority("L", 0),
+                **meta,
             )
 
     return GraphProgram(f"tslu{m}x{n}", 2, emit), ws
@@ -535,10 +671,33 @@ def tslu(
     m, n = A.shape
     if m < n:
         raise ValueError(f"tslu requires a tall panel (m >= n), got {A.shape}")
-    program, ws = tslu_program(A, tr, tree, leaf_kernel=leaf_kernel)
+    from repro.runtime.process import ProcessExecutor, resolve_executor
+
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
-    source = program if supports_streaming(executor) else program.materialize()
-    executor.run(source)
-    assert ws.piv is not None
-    return A, ws.piv
+    executor, owned = resolve_executor(executor, min(tr, 4))
+    use_shm = isinstance(executor, ProcessExecutor)
+    arena = shm = None
+    if use_shm:
+        # Process backend: move the panel onto the shared-memory plane
+        # so worker processes factor it in place (see repro.runtime.shm).
+        from repro.runtime.shm import SharedArena, ShmBinding
+
+        arena = SharedArena()
+        A = arena.place(A)
+        shm = ShmBinding(arena, A)
+    try:
+        program, ws = tslu_program(A, tr, tree, leaf_kernel=leaf_kernel, shm=shm)
+        source = program if supports_streaming(executor) else program.materialize()
+        executor.run(source)
+        assert ws.piv is not None
+        piv = ws.piv
+        if use_shm:
+            A = np.array(A)
+            piv = np.array(piv)
+    finally:
+        if arena is not None:
+            arena.destroy()
+        if owned and use_shm:
+            executor.close()
+    return A, piv

@@ -166,6 +166,36 @@ class TSQRTasks:
     leaf_tids: dict[int, int]
     leaf_chunks: dict[int, Chunk]
     merge_steps: list[MergeStep]
+    #: Shared-memory buffer specs for descriptor dispatch (populated
+    #: only when built with ``shm=``): per leaf slot ``(V, T)`` specs,
+    #: and per merge step (aligned with ``merge_steps``) a list of
+    #: ``(top0, bot0, Vb_spec, T_spec)`` — what the CAQR trailing-update
+    #: descriptors reference.
+    leaf_bufs: dict[int, tuple] = field(default_factory=dict)
+    merge_bufs: list[list[tuple]] = field(default_factory=list)
+
+
+def _leaf_sync(store: PanelQRStore, chunk: Chunk, v_view, t_view):
+    """op_sync hook: publish a worker-computed leaf WY factor into the
+    parent store as live shared-memory views."""
+
+    def sync() -> None:
+        store.leaves[chunk.index] = LeafFactor(
+            slot=chunk.index, r0=chunk.r0, r1=chunk.r1, V=v_view, T=t_view
+        )
+
+    return sync
+
+
+def _merge_sync(store: PanelQRStore, bk: int, entries: list):
+    """op_sync hook: publish worker-computed merge reflectors; *entries*
+    is ``[(idx, top0, bot0, vb_view, t_view), ...]``."""
+
+    def sync() -> None:
+        for idx, top0, bot0, vb_view, t_view in entries:
+            store.merges[idx] = MergeFactor(top0=top0, bot0=bot0, r=bk, Vb=vb_view, T=t_view)
+
+    return sync
 
 
 def _leaf_fn(A: np.ndarray, chunk: Chunk, c0: int, c1: int, store: PanelQRStore, kernel: str):
@@ -222,20 +252,28 @@ def add_tsqr_tasks(
     library: str = "repro_qr",
     leaf_kernel: str = "geqr3",
     arity: int = 4,
+    shm=None,
 ) -> TSQRTasks:
     """Emit the TSQR panel tasks (leaf QRs + tree merges) for panel *K*.
 
     Returns the task handles CAQR uses to attach trailing updates.
-    With ``A=None`` the tasks are symbolic.
+    With ``A=None`` the tasks are symbolic.  With *shm* (a
+    :class:`~repro.runtime.shm.ShmBinding`; numeric runs only) the WY
+    factors live in shared-memory buffers, each task carries a
+    ``meta["op"]`` descriptor for process dispatch, and the returned
+    handles include the buffer specs the CAQR trailing updates need.
     """
     c0 = K * layout.b
     c1 = c0 + layout.panel_width(K)
     bk = c1 - c0
     numeric = A is not None
+    use_shm = shm is not None and numeric
     prio_p = task_priority("P", K, lookahead=lookahead, n_cols=layout.N)
 
     leaf_tids: dict[int, int] = {}
     leaf_chunks: dict[int, Chunk] = {}
+    leaf_bufs: dict[int, tuple] = {}
+    merge_bufs: list[list[tuple]] = []
     by_slot = {c.index: c for c in chunks}
     for chunk in chunks:
         cost = Cost(
@@ -247,6 +285,26 @@ def add_tsqr_tasks(
             library=library,
         )
         fn = _leaf_fn(A, chunk, c0, c1, store, leaf_kernel) if numeric else None
+        meta = {}
+        if use_shm:
+            k = min(chunk.rows, bk)  # reflector count of this leaf
+            v_view, v_spec = shm.alloc((chunk.rows, k))
+            t_view, t_spec = shm.alloc((k, k))
+            leaf_bufs[chunk.index] = (v_spec, t_spec)
+            meta["op"] = (
+                "tsqr_leaf",
+                {
+                    "a": shm.a_spec,
+                    "r0": chunk.r0,
+                    "r1": chunk.r1,
+                    "c0": c0,
+                    "c1": c1,
+                    "kernel": leaf_kernel,
+                    "v": v_spec,
+                    "t": t_spec,
+                },
+            )
+            meta["op_sync"] = _leaf_sync(store, chunk, v_view, t_view)
         # ("qleaf", K, slot) keys the WY factor this task deposits in
         # the panel's PanelQRStore — read later by the trailing updates
         # that apply the leaf reflector.
@@ -260,6 +318,7 @@ def add_tsqr_tasks(
             writes=chunk.blocks(K) + [("qleaf", K, chunk.index)],
             priority=prio_p,
             iteration=K,
+            **meta,
         )
         leaf_tids[chunk.index] = tid
         leaf_chunks[chunk.index] = chunk
@@ -289,6 +348,23 @@ def add_tsqr_tasks(
             )
             ordinal = len(merge_steps)
             rblocks = [(dst.b0, K)] + [(s.b0, K) for s in srcs]
+            meta = {}
+            if use_shm:
+                pairs = []
+                sync_entries = []
+                step_bufs = []
+                for src, idx in zip(srcs, pair_indices):
+                    vb_view, vb_spec = shm.alloc((bk, bk))
+                    t_view, t_spec = shm.alloc((bk, bk))
+                    pairs.append((dst.r0, src.r0, vb_spec, t_spec))
+                    sync_entries.append((idx, dst.r0, src.r0, vb_view, t_view))
+                    step_bufs.append((dst.r0, src.r0, vb_spec, t_spec))
+                merge_bufs.append(step_bufs)
+                meta["op"] = (
+                    "tsqr_merge",
+                    {"a": shm.a_spec, "c0": c0, "c1": c1, "bk": bk, "pairs": pairs},
+                )
+                meta["op_sync"] = _merge_sync(store, bk, sync_entries)
             tid = tracker.add_task(
                 graph,
                 f"P[{K}]merge{dst.index}<{','.join(str(s.index) for s in srcs)}",
@@ -299,6 +375,7 @@ def add_tsqr_tasks(
                 writes=rblocks + [("qmerge", K, ordinal)],
                 priority=prio_p,
                 iteration=K,
+                **meta,
             )
             merge_steps.append(
                 MergeStep(
@@ -310,7 +387,13 @@ def add_tsqr_tasks(
                     ordinal=ordinal,
                 )
             )
-    return TSQRTasks(leaf_tids=leaf_tids, leaf_chunks=leaf_chunks, merge_steps=merge_steps)
+    return TSQRTasks(
+        leaf_tids=leaf_tids,
+        leaf_chunks=leaf_chunks,
+        merge_steps=merge_steps,
+        leaf_bufs=leaf_bufs,
+        merge_bufs=merge_bufs,
+    )
 
 
 @dataclass
@@ -362,6 +445,7 @@ def tsqr_program(
     tree: TreeKind = TreeKind.FLAT,
     *,
     leaf_kernel: str = "geqr3",
+    shm=None,
 ) -> tuple[GraphProgram, PanelQRStore]:
     """Streaming program for one standalone TSQR panel (one window
     holding the leaf factorizations and the reduction-tree merges).
@@ -378,7 +462,16 @@ def tsqr_program(
 
     def emit(window: int, graph: TaskGraph, tracker: BlockTracker) -> None:
         add_tsqr_tasks(
-            graph, tracker, layout, 0, chunks, tree, A=A, store=store, leaf_kernel=leaf_kernel
+            graph,
+            tracker,
+            layout,
+            0,
+            chunks,
+            tree,
+            A=A,
+            store=store,
+            leaf_kernel=leaf_kernel,
+            shm=shm,
         )
 
     return GraphProgram(f"tsqr{m}x{n}", 1, emit), store
@@ -405,10 +498,34 @@ def tsqr(
     m, n = A.shape
     if m < n:
         raise ValueError(f"tsqr requires a tall panel (m >= n), got {A.shape}")
-    program, store = tsqr_program(A, tr, tree, leaf_kernel=leaf_kernel)
+    from repro.runtime.process import ProcessExecutor, resolve_executor
+
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
-    source = program if supports_streaming(executor) else program.materialize()
-    executor.run(source)
-    R = np.triu(A[:n, :]).copy()
+    executor, owned = resolve_executor(executor, min(tr, 4))
+    use_shm = isinstance(executor, ProcessExecutor)
+    arena = shm = None
+    if use_shm:
+        # Process backend: panel and WY factors live on the shared-
+        # memory plane; results are copied off before teardown.
+        from repro.runtime.shm import SharedArena, ShmBinding
+
+        arena = SharedArena()
+        A = arena.place(A)
+        shm = ShmBinding(arena, A)
+    try:
+        program, store = tsqr_program(A, tr, tree, leaf_kernel=leaf_kernel, shm=shm)
+        source = program if supports_streaming(executor) else program.materialize()
+        executor.run(source)
+        R = np.triu(A[:n, :]).copy()
+        if use_shm:
+            # Deep-copy the WY factors off the arena before teardown.
+            store = PanelQRStore.from_arrays(
+                {k: np.array(v) for k, v in store.to_arrays().items()}
+            )
+    finally:
+        if arena is not None:
+            arena.destroy()
+        if owned and use_shm:
+            executor.close()
     return TSQRFactorization(m=m, n=n, store=store, R=R, tr=tr, tree=tree)

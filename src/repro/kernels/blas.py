@@ -51,6 +51,10 @@ def gemm(C: np.ndarray, A: np.ndarray, B: np.ndarray, alpha: float = -1.0, beta:
             C -= A @ B
         else:
             C += alpha * (A @ B)
+    elif beta == 0.0:
+        # LAPACK beta=0 semantics: C's previous contents are ignored,
+        # not multiplied — 0 * NaN would poison the product otherwise.
+        C[...] = alpha * (A @ B)
     else:
         C *= beta
         C += alpha * (A @ B)
@@ -144,12 +148,23 @@ def laswp(A: np.ndarray, piv: np.ndarray, forward: bool = True) -> np.ndarray:
     piv : int array; ``piv[i] = p`` means "swap row ``i`` with row ``p``"
         applied in increasing ``i`` for ``forward=True`` (factor-time
         order) and decreasing ``i`` otherwise (undo order).
+
+    Raises
+    ------
+    ValueError
+        If any swap target lies outside ``[0, m)`` — a corrupted pivot
+        array must fail loudly here (where the resilience guards can
+        catch it) instead of silently wrapping via negative indexing.
     """
-    n = A.shape[1]
+    m, n = A.shape
     add_call("laswp")
     order = range(len(piv)) if forward else range(len(piv) - 1, -1, -1)
     for i in order:
         p = int(piv[i])
+        if not 0 <= p < m:
+            raise ValueError(
+                f"laswp: corrupted pivot piv[{i}] = {p} out of range for {m} rows"
+            )
         if p != i:
             add_words(2 * n)
             A[[i, p]] = A[[p, i]]

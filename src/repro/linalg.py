@@ -96,7 +96,11 @@ def solve(
     (threaded, work-stealing, simulated) stream the factorization's
     graph program window-by-window, and *lookahead* bounds the
     streamed window (``None`` = the process default,
-    :func:`repro.core.priorities.lookahead_depth`).
+    :func:`repro.core.priorities.lookahead_depth`).  Pass
+    ``executor="process"`` (or a
+    :class:`~repro.runtime.process.ProcessExecutor`) to run the
+    kernels in a worker-process pool over a shared-memory arena —
+    true multicore execution outside the GIL.
     """
     from repro.core.autotune import recommend_params
 
@@ -156,7 +160,8 @@ def lstsq(
     Unset parameters are filled from the paper's tuning heuristics.
     *executor*/*lookahead* are forwarded to :func:`~repro.core.caqr.caqr`
     (engine-backed executors stream the graph program; *lookahead*
-    bounds the streamed window).
+    bounds the streamed window).  ``executor="process"`` runs the
+    panel/update kernels in a worker-process pool over shared memory.
     """
     from repro.core.autotune import recommend_params
 

@@ -35,16 +35,25 @@ class KernelSample:
     gflops: float
 
 
-def _time_once(fn, flops: float, min_time: float = 0.02) -> float:
-    """Run *fn* repeatedly until *min_time* elapses; return GFLOP/s."""
+def _time_once(fn, flops: float, min_time: float = 0.02, setup=None) -> float:
+    """Run *fn* repeatedly until *min_time* of kernel time accumulates;
+    return GFLOP/s.
+
+    *setup* (e.g. ``P.copy`` for an in-place kernel) runs before each
+    repetition, **outside** the timed region, and its result is passed
+    to *fn* — so allocation/copy cost never pollutes the measured rate,
+    which would skew the calibration for small panels.
+    """
     reps = 0
-    t0 = time.perf_counter()
+    timed = 0.0
     while True:
-        fn()
+        arg = setup() if setup is not None else None
+        t0 = time.perf_counter()
+        fn(arg) if setup is not None else fn()
+        timed += time.perf_counter() - t0
         reps += 1
-        dt = time.perf_counter() - t0
-        if dt >= min_time:
-            return flops * reps / dt / 1e9
+        if timed >= min_time:
+            return flops * reps / timed / 1e9
 
 
 def measure_kernel_rates(dims=(16, 32, 64, 128), rows: int = 2048, seed: int = 0):
@@ -64,11 +73,13 @@ def measure_kernel_rates(dims=(16, 32, 64, 128), rows: int = 2048, seed: int = 0
         )
         P = rng.standard_normal((rows, d))
         lu_flops = rows * d * d - d**3 / 3.0
-        out["getf2"].append(KernelSample(d, _time_once(lambda: getf2(P.copy()), lu_flops)))
-        out["rgetf2"].append(KernelSample(d, _time_once(lambda: rgetf2(P.copy()), lu_flops)))
+        # The in-place panel kernels need a fresh copy per repetition;
+        # the copy runs as untimed setup so only kernel time is counted.
+        out["getf2"].append(KernelSample(d, _time_once(getf2, lu_flops, setup=P.copy)))
+        out["rgetf2"].append(KernelSample(d, _time_once(rgetf2, lu_flops, setup=P.copy)))
         qr_flops = 2.0 * rows * d * d - 2.0 * d**3 / 3.0
-        out["geqr2"].append(KernelSample(d, _time_once(lambda: geqr2(P.copy()), qr_flops)))
-        out["geqr3"].append(KernelSample(d, _time_once(lambda: geqr3(P.copy()), qr_flops)))
+        out["geqr2"].append(KernelSample(d, _time_once(geqr2, qr_flops, setup=P.copy)))
+        out["geqr3"].append(KernelSample(d, _time_once(geqr3, qr_flops, setup=P.copy)))
     return out
 
 

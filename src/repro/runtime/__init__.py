@@ -23,6 +23,7 @@ guards, tracing, watchdog).
 
 from repro.runtime.engine import CentralFrontier, ExecutionEngine, StealingFrontier
 from repro.runtime.graph import BlockTracker, TaskGraph
+from repro.runtime.process import ProcessExecutor
 from repro.runtime.program import GraphProgram
 from repro.runtime.scheduler import ReadyQueue
 from repro.runtime.simulated import SimulatedExecutor
@@ -37,6 +38,7 @@ __all__ = [
     "Cost",
     "ExecutionEngine",
     "GraphProgram",
+    "ProcessExecutor",
     "ReadyQueue",
     "SimulatedExecutor",
     "StealingFrontier",

@@ -292,6 +292,7 @@ class ExecutionEngine:
         health_checks: bool = True,
         watchdog_poll_s: float = 0.02,
         thread_name: str = "repro-worker",
+        process_pool=None,
     ) -> None:
         if clock not in ("real", "virtual"):
             raise ValueError(f"unknown clock {clock!r}")
@@ -310,6 +311,28 @@ class ExecutionEngine:
         self.health_checks = health_checks
         self.watchdog_poll_s = watchdog_poll_s
         self.thread_name = thread_name
+        self.process_pool = process_pool
+
+    def _execute(self, task, core: int) -> None:
+        """Run one task's work: in a pool worker if it carries an op
+        descriptor, else its closure inline in this (proxy) thread.
+
+        When a ``process_pool`` is configured and the task has a
+        ``meta["op"]`` descriptor, the kernel runs in worker process
+        *core* over the shared-memory arena and ``meta["op_sync"]``
+        mirrors worker-side results into parent-side workspace objects;
+        any worker-side exception (or a structured ``worker_death``
+        failure) re-raises here, feeding the normal retry path.
+        """
+        pool = self.process_pool
+        op = task.meta.get("op") if (pool is not None and task.meta) else None
+        if op is not None:
+            pool.run(core, op)
+            sync = task.meta.get("op_sync")
+            if sync is not None:
+                sync()
+        elif task.fn is not None:
+            task.fn()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -413,8 +436,7 @@ class ExecutionEngine:
                     try:
                         if plan is not None:
                             plan.pre_task(task, attempt, record=record_event)
-                        if task.fn is not None:
-                            task.fn()
+                        self._execute(task, core)
                         if plan is not None:
                             plan.post_task(task, attempt, record=record_event)
                     except BaseException as exc:  # noqa: BLE001 - handled below

@@ -1,0 +1,241 @@
+"""Descriptor-dispatched kernel operations for the process backend.
+
+A task crossing the process boundary is not a closure — closures capture
+parent-process arrays and workspace objects that do not exist in a
+worker.  Instead, builders attach ``meta["op"] = (opname, payload)`` to
+each task: the kernel name plus block coordinates and shared-memory
+buffer specs (see :mod:`repro.runtime.shm`).  A worker receives the
+descriptor, attaches the referenced buffers as zero-copy views and runs
+:func:`run_op`, which performs *exactly* the sequence of kernel calls
+the task's in-process closure would have — same slices, same kernels,
+same order — so threaded and process executions of the same graph
+produce bitwise-identical factors (enforced by ``repro.verify`` and
+``tests/runtime/test_process_backend.py``).
+
+Workspace state that lives in Python objects on the threaded path
+(tournament candidate slots, pivot sequences, implicit-Q factors) is
+carried in arena buffers here, with small conventions:
+
+* a candidate slot is a ``(rows, gidx, count)`` buffer triple; only the
+  first ``count[0]`` rows are valid;
+* a pivot buffer stores ``[length, swap_0, swap_1, ...]``;
+* a panel's ``flags`` buffer is ``[degraded, recomputed]``.
+
+Core-layer imports happen inside the op bodies: this module is imported
+by the runtime package (and by bare worker processes), and the core
+builders import the runtime — lazy imports keep that acyclic.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.runtime.shm import attach_array
+
+__all__ = ["run_op", "OPS"]
+
+
+# ---------------------------------------------------------------------------
+# TSLU: tournament pivoting
+# ---------------------------------------------------------------------------
+
+
+def _op_tslu_leaf(p: dict) -> None:
+    from repro.core.tslu import _select_pivots
+
+    A = attach_array(p["a"])
+    rows = attach_array(p["rows"])
+    gidx = attach_array(p["gidx"])
+    count = attach_array(p["count"])
+    block = A[p["r0"] : p["r1"], p["c0"] : p["c1"]]
+    sel = _select_pivots(block, p["leaf_kernel"])
+    n = len(sel)
+    rows[:n] = block[sel]
+    gidx[:n] = (p["r0"] - p["k0"]) + sel
+    count[0] = n
+
+
+def _op_tslu_merge(p: dict) -> None:
+    from repro.core.tslu import _select_pivots
+
+    stacked = []
+    gidxs = []
+    for rspec, gspec, cspec in p["srcs"]:
+        c = int(attach_array(cspec)[0])
+        stacked.append(attach_array(rspec)[:c].copy())
+        gidxs.append(attach_array(gspec)[:c].copy())
+    rows = np.vstack(stacked)
+    gidx = np.concatenate(gidxs)
+    drows = attach_array(p["dst"][0])
+    dgidx = attach_array(p["dst"][1])
+    dcount = attach_array(p["dst"][2])
+    bk = p["bk"]
+    if not np.isfinite(rows).all():
+        # Corrupted candidates: degrade the panel, stop the poison —
+        # the same verdict _merge_fn reaches on the threaded path.
+        attach_array(p["flags"])[0] = 1
+        n = min(len(rows), bk)
+        drows[:n] = rows[:n]
+        dgidx[:n] = gidx[:n]
+        dcount[0] = n
+        return
+    sel = _select_pivots(rows, p["leaf_kernel"])
+    n = len(sel)
+    drows[:n] = rows[sel]
+    dgidx[:n] = gidx[sel]
+    dcount[0] = n
+
+
+def _op_tslu_finalize(p: dict) -> None:
+    from repro.core.trees import TreeKind
+    from repro.core.tslu import _recompute_tournament
+    from repro.kernels.blas import laswp
+    from repro.kernels.lu import getf2, getf2_nopiv, perm_from_piv_rows
+
+    A = attach_array(p["a"])
+    k0, m, c0, c1 = p["k0"], p["m"], p["c0"], p["c1"]
+    nc = int(attach_array(p["root"][2])[0])
+    cand = attach_array(p["root"][0])[:nc]
+    gidx = attach_array(p["root"][1])[:nc]
+    flags = attach_array(p["flags"])
+    degraded = bool(flags[0]) or nc == 0 or not np.isfinite(cand).all()
+    if degraded and p["allow_recompute"] and p["chunks"]:
+        chunks = [SimpleNamespace(index=i, r0=r0, r1=r1) for i, r0, r1 in p["chunks"]]
+        replayed = _recompute_tournament(
+            A, k0, c0, c1, chunks, TreeKind(p["tree"]), p["arity"], p["leaf_kernel"]
+        )
+        if replayed is not None:
+            gidx = replayed
+            degraded = False
+            flags[0] = 0
+            flags[1] = 1
+    if degraded:
+        flags[0] = 1
+        work = A[k0:m, c0:c1].copy()
+        piv = getf2(work)
+    else:
+        piv = perm_from_piv_rows(gidx, m - k0)
+    piv_buf = attach_array(p["piv"])
+    piv_buf[0] = len(piv)
+    piv_buf[1 : 1 + len(piv)] = piv
+    laswp(A[k0:m, c0:c1], piv)
+    r = min(c1 - c0, m - k0)
+    getf2_nopiv(A[k0 : k0 + r, c0:c1])
+
+
+# ---------------------------------------------------------------------------
+# CALU: L / U / S updates
+# ---------------------------------------------------------------------------
+
+
+def _op_calu_l(p: dict) -> None:
+    from repro.kernels.blas import trsm_runn
+
+    A = attach_array(p["a"])
+    k0, c0, c1 = p["k0"], p["c0"], p["c1"]
+    trsm_runn(A[k0 : k0 + (c1 - c0), c0:c1], A[p["r0"] : p["r1"], c0:c1])
+
+
+def _op_calu_u(p: dict) -> None:
+    from repro.kernels.blas import laswp, trsm_llnu
+
+    A = attach_array(p["a"])
+    piv_buf = attach_array(p["piv"])
+    piv = piv_buf[1 : 1 + int(piv_buf[0])]
+    m, k0, bk = p["m"], p["k0"], p["bk"]
+    j0, j1 = p["j0"], p["j1"]
+    laswp(A[k0:m, j0:j1], piv)
+    trsm_llnu(A[k0 : k0 + bk, p["c0"] : p["c1"]], A[k0 : k0 + bk, j0:j1])
+
+
+def _op_calu_s(p: dict) -> None:
+    from repro.kernels.blas import gemm
+
+    A = attach_array(p["a"])
+    k0, bk = p["k0"], p["bk"]
+    gemm(
+        A[p["r0"] : p["r1"], p["j0"] : p["j1"]],
+        A[p["r0"] : p["r1"], p["c0"] : p["c1"]],
+        A[k0 : k0 + bk, p["j0"] : p["j1"]],
+    )
+
+
+# ---------------------------------------------------------------------------
+# TSQR / CAQR: panel trees and trailing updates
+# ---------------------------------------------------------------------------
+
+
+def _op_tsqr_leaf(p: dict) -> None:
+    from repro.kernels.qr import extract_v, geqr2, geqr3, larft
+
+    A = attach_array(p["a"])
+    block = A[p["r0"] : p["r1"], p["c0"] : p["c1"]]
+    if p["kernel"] == "geqr3":
+        T = geqr3(block)
+    else:
+        tau = geqr2(block)
+        T = larft(extract_v(block), tau)
+    attach_array(p["v"])[...] = extract_v(block)
+    attach_array(p["t"])[...] = T
+
+
+def _op_tsqr_merge(p: dict) -> None:
+    from repro.kernels.structured import tpqrt
+
+    A = attach_array(p["a"])
+    c0, c1, bk = p["c0"], p["c1"], p["bk"]
+    for d0, s0, vb_spec, t_spec in p["pairs"]:
+        Rtop = A[d0 : d0 + bk, c0:c1]
+        Bsrc = A[s0 : s0 + bk, c0:c1]
+        T = tpqrt(Rtop, Bsrc, bottom_triangular=True)
+        attach_array(vb_spec)[...] = np.triu(Bsrc)
+        attach_array(t_spec)[...] = T
+
+
+def _op_caqr_leaf_update(p: dict) -> None:
+    from repro.kernels.qr import larfb_left_t
+
+    A = attach_array(p["a"])
+    larfb_left_t(
+        attach_array(p["v"]), attach_array(p["t"]), A[p["r0"] : p["r1"], p["j0"] : p["j1"]]
+    )
+
+
+def _op_caqr_merge_update(p: dict) -> None:
+    from repro.kernels.structured import tpmqrt_left_t
+
+    A = attach_array(p["a"])
+    j0, j1 = p["j0"], p["j1"]
+    for top0, bot0, r, vb_spec, t_spec in p["pairs"]:
+        tpmqrt_left_t(
+            attach_array(vb_spec),
+            attach_array(t_spec),
+            A[top0 : top0 + r, j0:j1],
+            A[bot0 : bot0 + r, j0:j1],
+        )
+
+
+OPS = {
+    "tslu_leaf": _op_tslu_leaf,
+    "tslu_merge": _op_tslu_merge,
+    "tslu_finalize": _op_tslu_finalize,
+    "calu_l": _op_calu_l,
+    "calu_u": _op_calu_u,
+    "calu_s": _op_calu_s,
+    "tsqr_leaf": _op_tsqr_leaf,
+    "tsqr_merge": _op_tsqr_merge,
+    "caqr_leaf_update": _op_caqr_leaf_update,
+    "caqr_merge_update": _op_caqr_merge_update,
+}
+
+
+def run_op(op: tuple[str, dict]) -> None:
+    """Execute one ``(opname, payload)`` descriptor in this process."""
+    name, payload = op
+    try:
+        fn = OPS[name]
+    except KeyError:
+        raise ValueError(f"unknown op {name!r}") from None
+    fn(payload)

@@ -1,0 +1,304 @@
+"""True-multicore execution: a persistent process pool over shared memory.
+
+Python threads serialize kernel *dispatch* on the GIL even though NumPy
+releases it inside array kernels; on many small tiles the dispatch path
+dominates and the threaded backend cannot scale with physical cores.
+:class:`ProcessExecutor` runs kernels in worker **processes** instead:
+
+* the matrix and all panel workspace buffers live in a shared-memory
+  arena (:mod:`repro.runtime.shm`) that every worker maps zero-copy;
+* tasks cross the process boundary as compact *descriptors* — kernel
+  name plus block coordinates and buffer specs (``meta["op"]``, built by
+  the CALU/CAQR/TSLU/TSQR builders; see :mod:`repro.runtime.ops`) —
+  never as pickled closures or matrix blocks;
+* scheduling stays in the parent: the executor reuses the unified
+  :class:`~repro.runtime.engine.ExecutionEngine` with one lightweight
+  *proxy thread* per worker process.  A proxy pops a ready task from the
+  frontier exactly like a threaded worker, ships the descriptor down its
+  worker's pipe, blocks until the completion message comes back, then
+  runs the task's ``meta["op_sync"]`` hook to mirror worker-side results
+  (pivots, degradation flags, Q factors) into parent-side workspace
+  objects.  Journal, retry, fault injection, health guards, streaming
+  ``GraphProgram`` windows and the watchdog therefore behave identically
+  across the threaded and process backends.
+
+Tasks without a descriptor (checkpoint snapshots, ABFT checksum hooks,
+row-swap epilogues, arbitrary test graphs) run their ordinary closure
+inline in the proxy thread — correct, just not parallel across
+processes.  Worker death is detected by the pipe/liveness poll, the
+worker is respawned, and the failure surfaces as a structured
+:class:`~repro.resilience.recovery.RuntimeFailure` with
+``failure_kind="worker_death"`` so an idempotent task is retried by the
+usual :class:`~repro.resilience.recovery.RetryPolicy` machinery.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.resilience.faults import FaultPlan
+from repro.resilience.recovery import RetryPolicy, RuntimeFailure
+from repro.runtime.engine import CentralFrontier, ExecutionEngine
+from repro.runtime.graph import TaskGraph
+from repro.runtime.trace import Trace
+
+__all__ = ["ProcessExecutor", "resolve_executor"]
+
+_POLL_S = 0.05  # liveness poll interval while awaiting a completion
+
+
+def _worker_main(conn) -> None:
+    """Worker process loop: receive descriptors, run kernels, ack."""
+    from repro.runtime.ops import run_op
+
+    while True:
+        try:
+            op = conn.recv()
+        except (EOFError, OSError):
+            break
+        if op is None:
+            break
+        try:
+            run_op(op)
+        except BaseException as exc:  # ship the failure to the parent
+            try:
+                conn.send((False, exc))
+            except Exception:
+                conn.send((False, RuntimeError(f"{type(exc).__name__}: {exc!r}")))
+        else:
+            conn.send((True, None))
+    conn.close()
+
+
+class _WorkerPool:
+    """Persistent worker processes, one duplex pipe each.
+
+    Workers start lazily on first use (so constructing an executor is
+    free) and persist across ``run()`` calls — process spawn cost is
+    paid once, matching the paper's persistent Pthreads pool.
+    """
+
+    def __init__(self, n_workers: int, start_method: str | None = None) -> None:
+        self.n_workers = n_workers
+        if start_method is None:
+            # fork shares the parent's module state (no re-import per
+            # worker) and is the fast path on Linux; fall back to the
+            # platform default elsewhere.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else None
+        self._ctx = multiprocessing.get_context(start_method)
+        self._procs: list = [None] * n_workers
+        self._conns: list = [None] * n_workers
+        self._closed = False
+
+    def _ensure(self, core: int) -> None:
+        proc = self._procs[core]
+        if proc is not None and proc.is_alive():
+            return
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"repro-proc-{core}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[core] = proc
+        self._conns[core] = parent_conn
+
+    def run(self, core: int, op: tuple) -> None:
+        """Execute one descriptor on worker *core*; raises its error."""
+        if self._closed:
+            raise ValueError("worker pool is closed")
+        self._ensure(core)
+        conn = self._conns[core]
+        try:
+            conn.send(op)
+            while not conn.poll(_POLL_S):
+                if not self._procs[core].is_alive():
+                    raise EOFError
+            ok, err = conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            # The worker died mid-task (OOM kill, segfault, kill -9).
+            # Respawn it so the pool stays whole, then surface a
+            # structured failure the RetryPolicy can act on.
+            exitcode = getattr(self._procs[core], "exitcode", None)
+            self._reap(core)
+            self._ensure(core)
+            failure = RuntimeFailure(
+                f"worker process {core} died running op {op[0]!r}"
+                f" (exitcode={exitcode})",
+                failure_kind="worker_death",
+            )
+            failure.__cause__ = exc
+            raise failure from exc
+        if not ok:
+            raise err
+
+    def _reap(self, core: int) -> None:
+        conn = self._conns[core]
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        proc = self._procs[core]
+        if proc is not None:
+            try:
+                proc.terminate()
+                proc.join(timeout=1.0)
+            except Exception:
+                pass
+        self._procs[core] = None
+        self._conns[core] = None
+
+    @property
+    def started(self) -> bool:
+        return any(p is not None for p in self._procs)
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for core, conn in enumerate(self._conns):
+            proc = self._procs[core]
+            if conn is not None and proc is not None and proc.is_alive():
+                try:
+                    conn.send(None)
+                except Exception:
+                    pass
+        for core in range(self.n_workers):
+            proc = self._procs[core]
+            if proc is not None:
+                proc.join(timeout=2.0)
+            self._reap(core)
+
+
+class ProcessExecutor:
+    """Execute a task graph on a pool of worker *processes*.
+
+    Drop-in alongside :class:`~repro.runtime.threaded.ThreadedExecutor`
+    (same constructor surface, same ``run(graph, journal=)``, same
+    structured-failure semantics) but with kernels dispatched to real
+    OS processes over a shared-memory tile plane, so the factorization
+    scales with physical cores instead of GIL time slices.
+
+    Tasks carrying ``meta["op"]`` descriptors run in workers; tasks
+    without one run inline in the parent-side proxy thread.  The pool is
+    persistent across runs; call :meth:`close` (or use the executor as a
+    context manager) when done.
+
+    Parameters mirror :class:`ThreadedExecutor`, plus:
+
+    start_method:
+        ``multiprocessing`` start method (default: ``"fork"`` where
+        available, else the platform default).
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        policy: str = "priority",
+        *,
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        task_timeout: float | None = None,
+        stall_timeout: float | None = None,
+        health_checks: bool = True,
+        watchdog_poll_s: float = 0.02,
+        start_method: str | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.policy = policy
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.task_timeout = task_timeout
+        self.stall_timeout = stall_timeout
+        self.health_checks = health_checks
+        self.watchdog_poll_s = watchdog_poll_s
+        self.start_method = start_method
+        self._pool: _WorkerPool | None = None
+
+    @property
+    def pool(self) -> _WorkerPool:
+        if self._pool is None or self._pool._closed:
+            self._pool = _WorkerPool(self.n_workers, self.start_method)
+        return self._pool
+
+    def run(self, graph: TaskGraph, journal=None) -> Trace:
+        """Run every task; returns the execution :class:`Trace`.
+
+        Accepts eager :class:`TaskGraph` and streaming
+        :class:`~repro.runtime.program.GraphProgram` sources, with the
+        same journal/retry/fault/health/watchdog semantics as the
+        threaded backend (see :class:`ThreadedExecutor.run`); kernel
+        work for descriptor-carrying tasks happens in worker processes.
+        """
+        engine = ExecutionEngine(
+            n_workers=self.n_workers,
+            frontier=CentralFrontier(self.policy),
+            retry=self.retry,
+            fault_plan=self.fault_plan,
+            task_timeout=self.task_timeout,
+            stall_timeout=self.stall_timeout,
+            health_checks=self.health_checks,
+            watchdog_poll_s=self.watchdog_poll_s,
+            thread_name="repro-proc-proxy",
+            process_pool=self.pool,
+        )
+        return engine.run(graph, journal=journal)
+
+    def close(self) -> None:
+        """Terminate the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> ProcessExecutor:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def default_process_workers() -> int:
+    """Worker count for ``executor="process"``: the machine's cores, capped."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def resolve_executor(executor, n_workers: int | None = None):
+    """Resolve an ``executor=`` argument to ``(instance, owned)``.
+
+    Accepts the strings ``"threaded"``, ``"stealing"`` and ``"process"``
+    (returning a fresh instance the caller owns and should close) or any
+    executor object (returned as-is, ``owned=False``).  Drivers use this
+    so ``calu(A, executor="process")`` works without the caller managing
+    pool lifetime.
+    """
+    if not isinstance(executor, str):
+        return executor, False
+    if n_workers is None:
+        n_workers = 4
+    if executor == "threaded":
+        from repro.runtime.threaded import ThreadedExecutor
+
+        return ThreadedExecutor(n_workers), True
+    if executor == "stealing":
+        from repro.runtime.stealing import WorkStealingExecutor
+
+        return WorkStealingExecutor(n_workers), True
+    if executor == "process":
+        return ProcessExecutor(n_workers), True
+    raise ValueError(
+        f"unknown executor {executor!r}; expected 'threaded', 'stealing' or 'process'"
+    )

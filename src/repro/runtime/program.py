@@ -150,8 +150,12 @@ def supports_streaming(executor) -> bool:
     caller-supplied) executor receives a fully materialized
     :class:`TaskGraph` instead, preserving the historical contract.
     """
+    from repro.runtime.process import ProcessExecutor
     from repro.runtime.simulated import SimulatedExecutor
     from repro.runtime.stealing import WorkStealingExecutor
     from repro.runtime.threaded import ThreadedExecutor
 
-    return isinstance(executor, (ThreadedExecutor, SimulatedExecutor, WorkStealingExecutor))
+    return isinstance(
+        executor,
+        (ThreadedExecutor, SimulatedExecutor, WorkStealingExecutor, ProcessExecutor),
+    )

@@ -34,6 +34,7 @@ from repro.core.caqr import build_caqr_graph, caqr_program
 from repro.core.layout import BlockLayout
 from repro.core.trees import TreeKind
 from repro.runtime.graph import TaskGraph
+from repro.verify.backends import check_backend_equivalence
 from repro.verify.equivalence import check_stream_equivalence
 from repro.verify.findings import Report
 from repro.verify.lint import lint_graph
@@ -99,13 +100,20 @@ class Target:
     ``stream`` is the same builder returning a
     :class:`~repro.runtime.program.GraphProgram` instead of an eager
     graph — when present the stream-vs-eager equivalence pass runs.
+    ``backend`` is a ``(kind, m, n, b, tr, tree)`` tuple — when present
+    (and execution is allowed) the threaded-vs-process backend
+    equivalence pass factors the target's matrix through both executor
+    backends and demands bitwise-identical factors.
     """
 
-    def __init__(self, name: str, build, *, block: int | None = None, stream=None) -> None:
+    def __init__(
+        self, name: str, build, *, block: int | None = None, stream=None, backend=None
+    ) -> None:
         self.name = name
         self.build = build
         self.block = block  # block size for the sanitizer; None = static only
         self.stream = stream
+        self.backend = backend
 
     @property
     def numeric(self) -> bool:
@@ -122,6 +130,7 @@ def default_targets() -> list[Target]:
                     _calu_builder(m, n, b, tr, tree),
                     block=b,
                     stream=_calu_builder(m, n, b, tr, tree, stream=True),
+                    backend=("lu", m, n, b, tr, tree),
                 )
             )
             targets.append(
@@ -130,6 +139,7 @@ def default_targets() -> list[Target]:
                     _caqr_builder(m, n, b, tr, tree),
                     block=b,
                     stream=_caqr_builder(m, n, b, tr, tree, stream=True),
+                    backend=("qr", m, n, b, tr, tree),
                 )
             )
     # Larger symbolic graphs: static proof scales past what we execute.
@@ -245,6 +255,12 @@ def _verify_target(target: Target, fuzz_runs: int, static_only: bool, seed: int)
                 target.build,
                 execute=not static_only,
             ),
+        )
+    if target.backend is not None and not static_only:
+        kind, m, n, b, tr, tree = target.backend
+        report.extend(
+            "backends",
+            check_backend_equivalence(target.name, kind, m, n, b, tr, tree, seed=seed),
         )
     return report
 

@@ -6,10 +6,10 @@ Two layers of equivalence, per ISSUE 4's acceptance:
   eager ``build_*_graph(...)`` result task-for-task (names, kinds,
   costs, priorities, footprints) and edge-for-edge;
 * **behavioral** — factorizations driven through streaming engine
-  executors (threaded, work-stealing, simulated-execute) reproduce an
-  eager sequential run **bitwise**: same pivots, same packed factors,
-  for CALU and CAQR across binary and flat reduction trees and all
-  look-ahead depths.
+  executors (threaded, work-stealing, simulated-execute, and the
+  shared-memory process backend) reproduce an eager sequential run
+  **bitwise**: same pivots, same packed factors, for CALU and CAQR
+  across binary and flat reduction trees and all look-ahead depths.
 """
 
 import numpy as np
@@ -27,6 +27,7 @@ from repro.core.trees import TreeKind
 from repro.core.tslu import tslu_program
 from repro.core.tsqr import tsqr_program
 from repro.machine.presets import generic
+from repro.runtime.process import ProcessExecutor
 from repro.runtime.simulated import SimulatedExecutor
 from repro.runtime.stealing import WorkStealingExecutor
 from repro.runtime.threaded import ThreadedExecutor
@@ -143,6 +144,7 @@ EXECUTORS = [
     pytest.param(lambda: ThreadedExecutor(3), id="threaded"),
     pytest.param(lambda: WorkStealingExecutor(3, seed=5), id="stealing"),
     pytest.param(lambda: SimulatedExecutor(generic(2), execute=True), id="simulated"),
+    pytest.param(lambda: ProcessExecutor(3), id="process"),
 ]
 
 

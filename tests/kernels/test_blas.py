@@ -25,6 +25,24 @@ class TestGemm:
         gemm(C, A, B, alpha=alpha, beta=beta)
         np.testing.assert_allclose(C, beta * C0 + alpha * (A @ B), rtol=1e-13, atol=1e-13)
 
+    def test_beta_zero_ignores_poisoned_c(self, rng):
+        # LAPACK semantics: beta=0 means C's previous contents are not
+        # referenced.  A NaN-poisoned C must not leak into the product
+        # (0 * NaN = NaN would, if implemented as C *= beta).
+        A = rng.standard_normal((5, 4))
+        B = rng.standard_normal((4, 6))
+        C = np.full((5, 6), np.nan)
+        gemm(C, A, B, alpha=2.0, beta=0.0)
+        assert np.all(np.isfinite(C))
+        np.testing.assert_allclose(C, 2.0 * (A @ B), rtol=1e-14)
+
+    def test_beta_zero_with_inf_poisoned_c(self, rng):
+        A = rng.standard_normal((3, 3))
+        B = rng.standard_normal((3, 3))
+        C = np.full((3, 3), np.inf)
+        gemm(C, A, B, alpha=-1.0, beta=0.0)
+        np.testing.assert_allclose(C, -(A @ B), rtol=1e-14)
+
     def test_in_place_returns_same_array(self, rng):
         C = rng.standard_normal((3, 3))
         out = gemm(C, np.eye(3), np.eye(3))
@@ -164,3 +182,23 @@ class TestLaswp:
         with counting() as c:
             laswp(A, np.array([0, 1, 5]))  # one real swap
         assert c.words == 2 * 2
+
+    def test_out_of_range_pivot_raises(self, rng):
+        # A corrupted pivot must fail loudly, not wrap around via
+        # negative indexing or raise a bare IndexError past the end.
+        A = rng.standard_normal((4, 3))
+        with pytest.raises(ValueError, match=r"corrupted pivot piv\[1\] = 7"):
+            laswp(A, np.array([0, 7, 2]))
+
+    def test_negative_pivot_raises(self, rng):
+        A0 = rng.standard_normal((4, 3))
+        A = A0.copy()
+        with pytest.raises(ValueError, match=r"corrupted pivot piv\[0\] = -2"):
+            laswp(A, np.array([-2, 1]))
+        # The offending swap was rejected before touching any rows.
+        np.testing.assert_array_equal(A, A0)
+
+    def test_backward_checks_bounds_too(self, rng):
+        A = rng.standard_normal((5, 2))
+        with pytest.raises(ValueError, match="corrupted pivot"):
+            laswp(A, np.array([1, 9]), forward=False)

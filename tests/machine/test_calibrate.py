@@ -5,11 +5,52 @@ import pytest
 
 from repro.machine.calibrate import (
     KernelSample,
+    _time_once,
     calibrate_host,
     fit_profile,
     measure_kernel_rates,
 )
 from repro.runtime.task import Cost
+
+
+class TestTimeOnce:
+    def test_setup_runs_fresh_per_rep(self):
+        # Destructive kernels (getf2 and friends) need a fresh operand
+        # every repetition; setup must produce one and fn must receive it.
+        produced = []
+
+        def setup():
+            arr = np.zeros(4)
+            produced.append(arr)
+            return arr
+
+        seen = []
+        rate = _time_once(lambda a: seen.append(a), 1.0, min_time=1e-6, setup=setup)
+        assert rate > 0
+        assert len(seen) == len(produced) >= 1
+        assert all(a is b for a, b in zip(seen, produced))
+
+    def test_setup_cost_excluded_from_timing(self):
+        # A setup far slower than the kernel must not drag the measured
+        # rate down: timing the copy was the calibration bug this guards.
+        import time as _time
+
+        kernel_s, setup_s, flops = 0.002, 0.02, 1e6
+        rate = _time_once(
+            lambda _: _time.sleep(kernel_s),
+            flops,
+            min_time=0.004,
+            setup=lambda: _time.sleep(setup_s),
+        )
+        # Rate if setup leaked into the timed region: flops/(kernel+setup).
+        poisoned = flops / (kernel_s + setup_s) / 1e9
+        assert rate > 3 * poisoned
+
+    def test_no_setup_calls_fn_without_argument(self):
+        calls = []
+        rate = _time_once(lambda: calls.append(1), 5.0, min_time=1e-6)
+        assert rate > 0
+        assert len(calls) >= 1
 
 
 class TestFitProfile:

@@ -22,16 +22,20 @@ from repro.machine.presets import generic
 from repro.resilience.faults import FaultPlan
 from repro.resilience.recovery import RetryPolicy, RuntimeFailure
 from repro.runtime.graph import TaskGraph
+from repro.runtime.process import ProcessExecutor
 from repro.runtime.simulated import SimulatedExecutor
 from repro.runtime.stealing import WorkStealingExecutor
 from repro.runtime.task import Cost, TaskKind
 from repro.runtime.threaded import ThreadedExecutor
 
-# Both thread-pool front-ends share the engine's retry/fault/journal
-# lifecycle, so the executor-semantics properties must hold for both.
+# All pool front-ends share the engine's retry/fault/journal lifecycle,
+# so the executor-semantics properties must hold for each of them.
+# (These graphs are closure-only, so the process backend exercises its
+# proxy-thread path: descriptors absent -> tasks run inline in-parent.)
 POOL_EXECUTORS = [
     pytest.param(ThreadedExecutor, id="threaded"),
     pytest.param(WorkStealingExecutor, id="stealing"),
+    pytest.param(ProcessExecutor, id="process"),
 ]
 
 

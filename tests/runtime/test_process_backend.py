@@ -1,0 +1,436 @@
+"""Tests for the shared-memory process backend.
+
+Four layers, matching the subsystem's structure:
+
+* :class:`~repro.runtime.shm.SharedArena` — allocation, spec round-trip,
+  zero-copy attach, teardown;
+* the worker pool — descriptors really execute in another process,
+  worker-side exceptions propagate, a killed worker is detected,
+  respawned and surfaced as a structured ``worker_death`` failure;
+* engine dispatch — ``meta["op"]`` tasks go to workers (their closures
+  are *not* called), descriptor-less tasks run inline, ``op_sync``
+  mirrors worker results into the parent, and an idempotent task whose
+  worker dies is retried by the usual :class:`RetryPolicy`;
+* end to end — CALU and CAQR through ``executor="process"`` produce
+  **bitwise-identical** factors to the threaded backend on binary and
+  flat reduction trees, and checkpoint/resume works across backends.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.calu import calu
+from repro.core.caqr import caqr
+from repro.core.trees import TreeKind
+from repro.core.tslu import tslu
+from repro.core.tsqr import tsqr
+from repro.resilience.checkpoint import Checkpoint, MemoryStore
+from repro.resilience.recovery import RetryPolicy, RuntimeFailure
+from repro.runtime import ops
+from repro.runtime.graph import TaskGraph
+from repro.runtime.process import ProcessExecutor, _WorkerPool, resolve_executor
+from repro.runtime.shm import SharedArena, ShmBinding, attach_array, spec_nbytes
+from repro.runtime.task import Cost, TaskKind
+from repro.runtime.threaded import ThreadedExecutor
+from tests.conftest import make_rng
+
+TREES = [TreeKind.BINARY, TreeKind.FLAT]
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="test ops are registered in-process and reach workers via fork",
+)
+
+
+# ----------------------------------------------------------------------
+# Test-only ops: registered in the parent, inherited by forked workers.
+# ----------------------------------------------------------------------
+
+
+def _op_write_pid(payload):
+    buf = attach_array(payload["buf"])
+    buf[0] = float(os.getpid())
+
+
+def _op_die(payload):
+    os._exit(3)
+
+
+def _op_die_once(payload):
+    counter = attach_array(payload["counter"])
+    if counter[0] == 0:
+        counter[0] = 1
+        os._exit(3)
+    counter[1] = 42.0
+
+
+def _op_raise(payload):
+    raise ValueError(f"worker-side error on {payload['what']}")
+
+
+@pytest.fixture(autouse=True)
+def _test_ops():
+    extra = {
+        "test_write_pid": _op_write_pid,
+        "test_die": _op_die,
+        "test_die_once": _op_die_once,
+        "test_raise": _op_raise,
+    }
+    ops.OPS.update(extra)
+    yield
+    for name in extra:
+        ops.OPS.pop(name, None)
+
+
+# ----------------------------------------------------------------------
+# SharedArena
+# ----------------------------------------------------------------------
+
+
+class TestSharedArena:
+    def test_alloc_zeroed_aligned_contiguous(self):
+        arena = SharedArena()
+        try:
+            a = arena.alloc((7, 5))
+            b = arena.alloc(3, dtype=np.int64)
+            assert a.shape == (7, 5) and a.dtype == np.float64
+            assert np.all(a == 0) and np.all(b == 0)
+            assert a.flags["C_CONTIGUOUS"]
+            for arr in (a, b):
+                assert arr.__array_interface__["data"][0] % 64 == 0
+        finally:
+            arena.destroy()
+
+    def test_place_copies_and_spec_round_trips(self):
+        arena = SharedArena()
+        try:
+            src = make_rng(0).standard_normal((6, 4))
+            view = arena.place(src)
+            assert np.array_equal(view, src)
+            assert view is not src
+            spec = arena.spec(view)
+            assert spec_nbytes(spec) == src.nbytes
+            again = attach_array(spec)
+            assert np.array_equal(again, src)
+            # Same physical pages: a write through one view is seen by
+            # the other (this is what makes worker writes visible).
+            again[2, 1] = 99.0
+            assert view[2, 1] == 99.0
+        finally:
+            arena.destroy()
+
+    def test_spec_rejects_foreign_and_noncontiguous_arrays(self):
+        arena = SharedArena()
+        try:
+            view = arena.place(np.zeros((4, 4)))
+            with pytest.raises(ValueError):
+                arena.spec(np.zeros((2, 2)))
+            with pytest.raises(ValueError):
+                arena.spec(view[:, ::2])
+        finally:
+            arena.destroy()
+
+    def test_grows_past_one_segment(self):
+        arena = SharedArena(segment_bytes=1 << 12)
+        try:
+            specs = [arena.spec(arena.place(np.full(400, float(i)))) for i in range(4)]
+            assert len({s[0] for s in specs}) > 1  # multiple segments
+            for i, s in enumerate(specs):
+                assert np.all(attach_array(s) == float(i))
+        finally:
+            arena.destroy()
+
+    def test_destroy_idempotent_and_blocks_alloc(self):
+        arena = SharedArena()
+        arena.alloc(8)
+        arena.destroy()
+        arena.destroy()
+        with pytest.raises(ValueError):
+            arena.alloc(8)
+
+    def test_binding_tracks_matrix_and_workspace(self):
+        arena = SharedArena()
+        try:
+            A = arena.place(np.arange(12.0).reshape(3, 4))
+            shm = ShmBinding(arena, A)
+            assert np.array_equal(attach_array(shm.a_spec), A)
+            view, spec = shm.alloc((2, 2), dtype=np.int64)
+            view[:] = 7
+            assert np.all(attach_array(spec) == 7)
+        finally:
+            arena.destroy()
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_op_runs_in_another_process(self):
+        arena = SharedArena()
+        pool = _WorkerPool(1)
+        try:
+            buf = arena.alloc(1)
+            pool.run(0, ("test_write_pid", {"buf": arena.spec(buf)}))
+            assert buf[0] > 0
+            assert int(buf[0]) != os.getpid()
+        finally:
+            pool.close()
+            arena.destroy()
+
+    def test_worker_exception_propagates(self):
+        pool = _WorkerPool(1)
+        try:
+            with pytest.raises(ValueError, match="worker-side error on panel-3"):
+                pool.run(0, ("test_raise", {"what": "panel-3"}))
+            # The worker survived the exception and keeps serving.
+            arena = SharedArena()
+            try:
+                buf = arena.alloc(1)
+                pool.run(0, ("test_write_pid", {"buf": arena.spec(buf)}))
+                assert buf[0] > 0
+            finally:
+                arena.destroy()
+        finally:
+            pool.close()
+
+    def test_worker_death_detected_and_respawned(self):
+        arena = SharedArena()
+        pool = _WorkerPool(1)
+        try:
+            buf = arena.alloc(1)
+            pool.run(0, ("test_write_pid", {"buf": arena.spec(buf)}))
+            first_pid = int(buf[0])
+            with pytest.raises(RuntimeFailure) as info:
+                pool.run(0, ("test_die", {}))
+            assert info.value.failure_kind == "worker_death"
+            assert "test_die" in str(info.value)
+            # The pool respawned the worker: next dispatch succeeds on a
+            # different process.
+            pool.run(0, ("test_write_pid", {"buf": arena.spec(buf)}))
+            assert int(buf[0]) not in (0, first_pid)
+        finally:
+            pool.close()
+            arena.destroy()
+
+    def test_unknown_op_is_a_worker_side_error(self):
+        pool = _WorkerPool(1)
+        try:
+            with pytest.raises(ValueError, match="unknown op"):
+                pool.run(0, ("no_such_op", {}))
+        finally:
+            pool.close()
+
+    def test_close_idempotent_and_blocks_run(self):
+        pool = _WorkerPool(2)
+        pool.close()
+        pool.close()
+        with pytest.raises(ValueError):
+            pool.run(0, ("test_write_pid", {}))
+
+
+# ----------------------------------------------------------------------
+# Engine dispatch through ProcessExecutor
+# ----------------------------------------------------------------------
+
+
+def _one_task_graph(fn=None, **meta):
+    g = TaskGraph("proc-dispatch")
+    g.add("t0", TaskKind.S, Cost("gemm", flops=1e3), fn=fn, **meta)
+    return g
+
+
+class TestEngineDispatch:
+    def test_op_task_runs_in_worker_not_closure(self):
+        arena = SharedArena()
+        closure_ran = []
+        synced = []
+        try:
+            buf = arena.alloc(1)
+            with ProcessExecutor(1) as ex:
+                ex.run(
+                    _one_task_graph(
+                        fn=lambda: closure_ran.append(1),
+                        op=("test_write_pid", {"buf": arena.spec(buf)}),
+                        op_sync=lambda: synced.append(float(buf[0])),
+                    )
+                )
+            assert not closure_ran, "descriptor tasks must not run their closure"
+            assert synced and synced[0] > 0 and int(synced[0]) != os.getpid()
+        finally:
+            arena.destroy()
+
+    def test_closure_only_tasks_run_inline(self):
+        ran = []
+        with ProcessExecutor(2) as ex:
+            ex.run(_one_task_graph(fn=lambda: ran.append(os.getpid())))
+            assert ran == [os.getpid()]
+            # No descriptors were dispatched, so no worker ever started.
+            assert not ex.pool.started
+
+    def test_worker_death_retried_for_idempotent_task(self):
+        arena = SharedArena()
+        try:
+            counter = arena.alloc(2)
+            g = TaskGraph("flaky")
+            g.add(
+                "t0",
+                TaskKind.S,
+                Cost("gemm", flops=1e3),
+                idempotent=True,
+                op=("test_die_once", {"counter": arena.spec(counter)}),
+            )
+            with ProcessExecutor(1, retry=RetryPolicy(max_retries=2, backoff_s=1e-4)) as ex:
+                trace = ex.run(g)
+            assert counter[1] == 42.0  # second attempt completed the op
+            assert trace.resilience_summary().get("retry") == 1
+        finally:
+            arena.destroy()
+
+    def test_worker_death_without_retry_fails_structured(self):
+        g = _one_task_graph(op=("test_die", {}))
+        with ProcessExecutor(1) as ex:
+            with pytest.raises(RuntimeFailure) as info:
+                ex.run(g)
+        assert info.value.failure_kind == "worker_death"
+
+    def test_pool_recreated_after_close(self):
+        ex = ProcessExecutor(1)
+        first = ex.pool
+        ex.close()
+        assert ex.pool is not first
+        ex.close()
+
+
+# ----------------------------------------------------------------------
+# resolve_executor
+# ----------------------------------------------------------------------
+
+
+class TestResolveExecutor:
+    def test_strings_create_owned_instances(self):
+        for name, cls in (("threaded", ThreadedExecutor), ("process", ProcessExecutor)):
+            ex, owned = resolve_executor(name, 2)
+            assert isinstance(ex, cls) and owned
+            if isinstance(ex, ProcessExecutor):
+                ex.close()
+
+    def test_objects_pass_through_unowned(self):
+        obj = ThreadedExecutor(2)
+        ex, owned = resolve_executor(obj)
+        assert ex is obj and not owned
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("gpu")
+
+
+# ----------------------------------------------------------------------
+# End to end: bitwise equality with the threaded backend
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree", TREES, ids=[t.value for t in TREES])
+def test_calu_process_matches_threaded_bitwise(tree):
+    A = make_rng(50).standard_normal((72, 48))
+    ref = calu(A, b=12, tr=4, tree=tree, executor="threaded")
+    f = calu(A, b=12, tr=4, tree=tree, executor="process")
+    np.testing.assert_array_equal(f.piv, ref.piv)
+    np.testing.assert_array_equal(f.lu, ref.lu)
+
+
+@pytest.mark.parametrize("tree", TREES, ids=[t.value for t in TREES])
+def test_caqr_process_matches_threaded_bitwise(tree):
+    A = make_rng(51).standard_normal((72, 48))
+    ref = caqr(A, b=12, tr=4, tree=tree, executor="threaded")
+    f = caqr(A, b=12, tr=4, tree=tree, executor="process")
+    np.testing.assert_array_equal(f.R, ref.R)
+    np.testing.assert_array_equal(f.packed, ref.packed)
+    for s_ref, s_f in zip(ref.panels, f.panels):
+        a_ref, a_f = s_ref.to_arrays(), s_f.to_arrays()
+        assert set(a_ref) == set(a_f)
+        for key in a_ref:
+            np.testing.assert_array_equal(a_f[key], a_ref[key])
+    rhs = make_rng(52).standard_normal(72)
+    np.testing.assert_array_equal(f.apply_qt(rhs), ref.apply_qt(rhs))
+
+
+def test_tslu_tsqr_process_match_threaded():
+    A = make_rng(53).standard_normal((96, 12))
+    ref_l, ref_piv = tslu(A.copy(), tr=4, executor="threaded")
+    got_l, got_piv = tslu(A.copy(), tr=4, executor="process")
+    np.testing.assert_array_equal(got_l, ref_l)
+    np.testing.assert_array_equal(got_piv, ref_piv)
+    ref_q = tsqr(A.copy(), tr=4, executor="threaded")
+    got_q = tsqr(A.copy(), tr=4, executor="process")
+    np.testing.assert_array_equal(got_q.R, ref_q.R)
+
+
+def test_shared_executor_instance_across_runs():
+    # One pool, many factorizations: the workers persist across runs.
+    A = make_rng(54).standard_normal((48, 32))
+    with ProcessExecutor(2) as ex:
+        f1 = calu(A, b=8, tr=2, executor=ex)
+        f2 = calu(A, b=8, tr=2, executor=ex)
+    np.testing.assert_array_equal(f1.lu, f2.lu)
+    np.testing.assert_array_equal(f1.piv, f2.piv)
+
+
+def test_calu_process_crash_resume_bitwise_identical():
+    # Crash a threaded checkpointed run mid-flight, then resume it on the
+    # process backend: the journal skip + arena repopulation path must
+    # still converge to the uninterrupted answer bitwise.
+    A0 = make_rng(55).standard_normal((64, 64))
+    clean = calu(A0, b=8, tr=2)
+    ckpt = Checkpoint(MemoryStore())
+
+    class CrashAfter:
+        def __init__(self, inner, n):
+            self.inner, self.n, self.count = inner, n, 0
+
+        def run(self, graph, journal=None):
+            import threading
+
+            lock = threading.Lock()
+            for t in graph.tasks:
+                fn = t.fn
+                if fn is None:
+                    continue
+
+                def wrapped(fn=fn, name=t.name):
+                    with lock:
+                        self.count += 1
+                        if self.count > self.n:
+                            raise RuntimeError(f"chaos kill in {name}")
+                    fn()
+
+                t.fn = wrapped
+            return self.inner.run(graph, journal=journal)
+
+    crash_at = max(1, len(clean.trace.records) // 2)
+    with pytest.raises(RuntimeFailure):
+        calu(A0, b=8, tr=2, executor=CrashAfter(ThreadedExecutor(2), crash_at), checkpoint=ckpt)
+    f = calu(A0, b=8, tr=2, executor="process", checkpoint=ckpt)
+    if ckpt.snapshot_chain():
+        assert f.trace.resilience_summary().get("resume") == 1
+    np.testing.assert_array_equal(f.lu, clean.lu)
+    np.testing.assert_array_equal(f.piv, clean.piv)
+
+
+def test_solve_and_lstsq_accept_process_executor():
+    from repro.linalg import lstsq, solve
+
+    rng = make_rng(56)
+    A = rng.standard_normal((48, 48)) + 48 * np.eye(48)
+    rhs = rng.standard_normal(48)
+    x_t = solve(A, rhs, executor="threaded")
+    x_p = solve(A, rhs, executor="process")
+    np.testing.assert_array_equal(x_p, x_t)
+    B = rng.standard_normal((64, 32))
+    c = rng.standard_normal(64)
+    y_t = lstsq(B, c, executor="threaded")
+    y_p = lstsq(B, c, executor="process")
+    np.testing.assert_array_equal(y_p, y_t)
