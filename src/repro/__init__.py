@@ -36,6 +36,13 @@ The package provides:
     :class:`~repro.resilience.journal.TaskJournal`) and ABFT
     checksums for the trailing update — the runtime's recovery layer.
 
+``repro.service``
+    An overload-safe factorization service
+    (:class:`~repro.service.service.FactorizationService`): concurrent
+    ``factor``/``solve``/``lstsq`` requests multiplexed onto one shared
+    worker pool with plan caching, bounded admission, per-request
+    deadlines, circuit breaking and pool supervision.
+
 ``repro.baselines``
     The comparison algorithms the paper benchmarks against: BLAS2
     ``getf2``/``geqr2``, blocked ``getrf``/``geqrf`` (MKL/ACML-like)
@@ -90,6 +97,11 @@ _EXPORTS = {
     "MemoryStore": "repro.resilience.checkpoint",
     "TaskJournal": "repro.resilience.journal",
     "NumericalHealthWarning": "repro.resilience.health",
+    "FactorizationService": "repro.service",
+    "ServiceConfig": "repro.service",
+    "AdmissionRejected": "repro.service",
+    "DeadlineExceeded": "repro.service",
+    "CircuitBreaker": "repro.service",
     "SolveReport": "repro.linalg",
     "solve": "repro.linalg",
     "lstsq": "repro.linalg",

@@ -74,6 +74,8 @@ def solve(
     checkpoint=None,
     executor=None,
     lookahead: int | None = None,
+    service=None,
+    deadline_s: float | None = None,
 ) -> np.ndarray:
     """Solve the square system ``A x = rhs`` with CALU.
 
@@ -101,7 +103,35 @@ def solve(
     :class:`~repro.runtime.process.ProcessExecutor`) to run the
     kernels in a worker-process pool over a shared-memory arena —
     true multicore execution outside the GIL.
+
+    With *service* (a
+    :class:`~repro.service.service.FactorizationService`) the request
+    is routed through the overload-safe service instead: shared worker
+    pool, cached graph plans, admission control and — with
+    *deadline_s* — a per-request deadline.  May then raise
+    :class:`~repro.service.admission.AdmissionRejected` or
+    :class:`~repro.service.admission.DeadlineExceeded`; *checkpoint*,
+    *executor* and *refine* are the direct path's knobs and cannot be
+    combined with it.
     """
+    if service is not None:
+        if checkpoint is not None or executor is not None or refine > 0:
+            raise ValueError(
+                "service= cannot be combined with checkpoint=, executor= or refine="
+            )
+        return service.solve(
+            A,
+            rhs,
+            b=b,
+            tr=tr,
+            tree=tree,
+            auto_refine=auto_refine,
+            rtol=rtol,
+            report=report,
+            deadline_s=deadline_s,
+        )
+    if deadline_s is not None:
+        raise ValueError("deadline_s requires service=")
     from repro.core.autotune import recommend_params
 
     A = np.asarray(validate_matrix(A, "A"), dtype=float)
@@ -154,6 +184,8 @@ def lstsq(
     cores: int = 4,
     executor=None,
     lookahead: int | None = None,
+    service=None,
+    deadline_s: float | None = None,
 ) -> np.ndarray:
     """Least-squares solution of ``min ||A x - rhs||_2`` with CAQR (``m >= n``).
 
@@ -162,7 +194,16 @@ def lstsq(
     (engine-backed executors stream the graph program; *lookahead*
     bounds the streamed window).  ``executor="process"`` runs the
     panel/update kernels in a worker-process pool over shared memory.
+    With *service* the request goes through the overload-safe
+    :class:`~repro.service.service.FactorizationService` (cannot be
+    combined with *executor*); *deadline_s* bounds it end to end.
     """
+    if service is not None:
+        if executor is not None:
+            raise ValueError("service= cannot be combined with executor=")
+        return service.lstsq(A, rhs, b=b, tr=tr, tree=tree, deadline_s=deadline_s)
+    if deadline_s is not None:
+        raise ValueError("deadline_s requires service=")
     from repro.core.autotune import recommend_params
 
     A = np.asarray(validate_matrix(A, "A"), dtype=float)

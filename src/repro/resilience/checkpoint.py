@@ -186,6 +186,20 @@ class FileStore(CheckpointStore):
     def _path(self, key: str, ext: str) -> str:
         return os.path.join(self.root, self._enc(key) + ext)
 
+    def _sync_dir(self) -> None:
+        """fsync the store directory itself.
+
+        ``os.replace`` makes the *file contents* appear atomically, but
+        the directory entry (the rename, or a newly created log file)
+        only becomes power-loss durable once the directory inode is
+        synced too — fsyncing the file alone is not enough on POSIX.
+        """
+        fd = os.open(self.root, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
     def save_arrays(self, key: str, arrays: dict) -> None:
         data = pack_arrays(arrays)
         with self._lock:
@@ -197,6 +211,8 @@ class FileStore(CheckpointStore):
                     if self.fsync:
                         os.fsync(f.fileno())
                 os.replace(tmp, self._path(key, ".npc"))
+                if self.fsync:
+                    self._sync_dir()
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -233,11 +249,17 @@ class FileStore(CheckpointStore):
 
     def append_line(self, key: str, line: str) -> None:
         with self._lock:
-            with open(self._path(key, ".jsonl"), "a", encoding="utf-8") as f:
+            path = self._path(key, ".jsonl")
+            created = not os.path.exists(path)
+            with open(path, "a", encoding="utf-8") as f:
                 f.write(line + "\n")
                 f.flush()
                 if self.fsync:
                     os.fsync(f.fileno())
+            if self.fsync and created:
+                # A brand-new log file's directory entry needs the same
+                # directory sync the snapshot rename gets.
+                self._sync_dir()
 
     def read_lines(self, key: str) -> list[str]:
         try:

@@ -294,7 +294,7 @@ class FaultPlan:
                 record,
             )
             if retry is not None and retry.should_retry(task, exc, attempt):
-                delay += retry.delay(attempt)
+                delay += retry.delay(attempt, task.tid)
                 self._note(
                     ResilienceEvent(
                         "retry",

@@ -14,6 +14,8 @@ kernel traceback.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass
 
 from repro.resilience.faults import InjectedFault
@@ -30,6 +32,8 @@ FAILURE_KINDS = (
     "worker_death",  # watchdog: a worker thread died with work in flight
     "health",  # a numerical health guard found corrupted results
     "comm",  # message-level failure (retransmission cap exceeded)
+    "deadline",  # the run's absolute deadline passed before completion
+    "admission",  # the service shed the request before it ran
 )
 
 
@@ -106,6 +110,18 @@ class RetryPolicy:
         Attempts allowed *after* the first (0 disables retrying).
     backoff_s, backoff_multiplier:
         Sleep ``backoff_s * multiplier**attempt`` before re-running.
+    max_backoff_s:
+        Optional cap on the exponential schedule; ``None`` (the
+        default) leaves it unbounded, matching the historical behavior.
+    jitter:
+        Fraction of the (capped) backoff added as *deterministic seeded
+        jitter*: the sleep becomes ``d * (1 + jitter * u)`` with
+        ``u in [0, 1)`` a pure hash of ``(seed, tid, attempt)``.  Jitter
+        decorrelates retry storms — many tasks (or many service
+        requests) failing together re-arrive spread out instead of in
+        lockstep — while staying exactly reproducible run-to-run.
+    seed:
+        Root seed for the jitter hash.
     retry_all:
         Retry any task regardless of idempotence.
     """
@@ -113,11 +129,28 @@ class RetryPolicy:
     max_retries: int = 2
     backoff_s: float = 0.002
     backoff_multiplier: float = 2.0
+    max_backoff_s: float | None = None
+    jitter: float = 0.0
+    seed: int = 0
     retry_all: bool = False
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt + 1``."""
-        return self.backoff_s * self.backoff_multiplier ** attempt
+    def delay(self, attempt: int, tid: int = 0) -> float:
+        """Backoff before retry number ``attempt + 1`` of task *tid*.
+
+        Deterministic: the same ``(seed, tid, attempt)`` always yields
+        the same delay, so retried schedules replay bit-for-bit.
+        """
+        d = self.backoff_s * self.backoff_multiplier ** attempt
+        if self.max_backoff_s is not None:
+            d = min(d, self.max_backoff_s)
+        if self.jitter > 0.0 and d > 0.0:
+            h = zlib.crc32(struct.pack("<qqq", int(self.seed), int(tid), int(attempt)))
+            d *= 1.0 + self.jitter * (h / 2**32)
+        return d
+
+    def schedule(self, tid: int = 0) -> list[float]:
+        """The full delay schedule ``[delay(0), ..., delay(max_retries-1)]``."""
+        return [self.delay(a, tid) for a in range(self.max_retries)]
 
     def should_retry(self, task, exc: BaseException, attempt: int) -> bool:
         """Whether to re-run *task* after *exc* on attempt *attempt*."""

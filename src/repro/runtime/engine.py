@@ -272,6 +272,14 @@ class ExecutionEngine:
     watchdog_poll_s:
         The resilience options shared by all front-ends (see
         :class:`~repro.runtime.threaded.ThreadedExecutor`).
+    deadline:
+        Optional absolute ``time.monotonic()`` timestamp: once passed,
+        the watchdog aborts the run with a structured
+        ``failure_kind="deadline"`` :class:`RuntimeFailure` even while
+        individual tasks keep making progress.  This is how a service
+        front-end maps a *per-request* deadline onto a run whose total
+        task count exceeds any sensible per-task timeout (real clock
+        only).
     thread_name:
         Prefix for worker thread names.
     """
@@ -289,6 +297,7 @@ class ExecutionEngine:
         fault_plan=None,
         task_timeout: float | None = None,
         stall_timeout: float | None = None,
+        deadline: float | None = None,
         health_checks: bool = True,
         watchdog_poll_s: float = 0.02,
         thread_name: str = "repro-worker",
@@ -308,6 +317,7 @@ class ExecutionEngine:
         self.fault_plan = fault_plan
         self.task_timeout = task_timeout
         self.stall_timeout = stall_timeout
+        self.deadline = deadline
         self.health_checks = health_checks
         self.watchdog_poll_s = watchdog_poll_s
         self.thread_name = thread_name
@@ -452,7 +462,7 @@ class ExecutionEngine:
                                     ),
                                 )
                             )
-                            time.sleep(retry.delay(attempt))
+                            time.sleep(retry.delay(attempt, task.tid))
                             attempt += 1
                             continue
                         if not isinstance(exc, RuntimeFailure):
@@ -534,7 +544,11 @@ class ExecutionEngine:
             for c in range(self.n_workers)
         ]
 
-        watchdog_active = self.task_timeout is not None or self.stall_timeout is not None
+        watchdog_active = (
+            self.task_timeout is not None
+            or self.stall_timeout is not None
+            or self.deadline is not None
+        )
 
         def watchdog() -> None:
             deadlock_polls = 0
@@ -545,6 +559,31 @@ class ExecutionEngine:
                     n = bk.registered
                     done_count = n - bk.remaining
                     now = time.monotonic()
+                    if self.deadline is not None and now >= self.deadline:
+                        # The run's absolute deadline passed.  Tasks may
+                        # still be progressing — this is *lateness*, not
+                        # a hang — so it is reported as its own kind.
+                        events.append(
+                            ResilienceEvent(
+                                "deadline",
+                                detail=(
+                                    f"run deadline passed with {done_count}/{n} "
+                                    "tasks done"
+                                ),
+                                value=now - self.deadline,
+                                fatal=True,
+                            )
+                        )
+                        errors.append(
+                            RuntimeFailure(
+                                f"run exceeded its deadline ({done_count}/{n} "
+                                "tasks done)",
+                                failure_kind="deadline",
+                            )
+                        )
+                        stop.set()
+                        work_available.notify_all()
+                        return
                     if self.task_timeout is not None:
                         for core, (task, ts) in list(running.items()):
                             if now - ts > self.task_timeout:

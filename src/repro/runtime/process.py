@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 
 from repro.resilience.faults import FaultPlan
 from repro.resilience.recovery import RetryPolicy, RuntimeFailure
@@ -77,9 +78,29 @@ class _WorkerPool:
     Workers start lazily on first use (so constructing an executor is
     free) and persist across ``run()`` calls — process spawn cost is
     paid once, matching the paper's persistent Pthreads pool.
+
+    The pool is **thread-safe at worker granularity**: every
+    send/receive cycle on worker *core* holds that core's lock, so
+    several :class:`~repro.runtime.engine.ExecutionEngine` runs (a
+    service multiplexing concurrent requests) can share one pool — two
+    proxies targeting the same worker simply interleave whole ops
+    instead of corrupting the pipe protocol.
+
+    *respawn_governor* (optional; see
+    :class:`~repro.service.supervisor.RespawnGovernor`) rate-limits
+    worker respawns: a crash-looping workload cannot livelock the pool
+    by burning every cycle on process spawns.  When the governor denies
+    a respawn the worker stays down and the failure says so — the next
+    ``run()`` on that core re-asks the governor, so the denial is
+    temporary by construction.
     """
 
-    def __init__(self, n_workers: int, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        start_method: str | None = None,
+        respawn_governor=None,
+    ) -> None:
         self.n_workers = n_workers
         if start_method is None:
             # fork shares the parent's module state (no re-import per
@@ -90,7 +111,11 @@ class _WorkerPool:
         self._ctx = multiprocessing.get_context(start_method)
         self._procs: list = [None] * n_workers
         self._conns: list = [None] * n_workers
+        self._locks = [threading.Lock() for _ in range(n_workers)]
         self._closed = False
+        self.respawn_governor = respawn_governor
+        self.respawns = 0  # lifetime respawn count (post-death restarts)
+        self.deaths = 0  # lifetime worker deaths observed
 
     def _ensure(self, core: int) -> None:
         proc = self._procs[core]
@@ -108,34 +133,107 @@ class _WorkerPool:
         self._procs[core] = proc
         self._conns[core] = parent_conn
 
+    def _admit(self, core: int) -> None:
+        """Make worker *core* runnable, honouring the respawn throttle.
+
+        A worker left dead by a throttled respawn must not be silently
+        revived by the next request — that would reduce the crash-loop
+        guard to a one-request delay.  Spawned-but-dead workers re-ask
+        the governor; denial fails fast with the same structured
+        ``worker_death`` the original death raised.
+        """
+        proc = self._procs[core]
+        if proc is not None and not proc.is_alive():
+            governor = self.respawn_governor
+            if governor is not None and not governor.allow_respawn(core):
+                raise RuntimeFailure(
+                    f"worker process {core} is down and its respawn throttled"
+                    " (crash-loop guard)",
+                    failure_kind="worker_death",
+                )
+            self._reap(core)
+            self._ensure(core)
+            self.respawns += 1
+            return
+        self._ensure(core)
+
     def run(self, core: int, op: tuple) -> None:
         """Execute one descriptor on worker *core*; raises its error."""
         if self._closed:
             raise ValueError("worker pool is closed")
-        self._ensure(core)
-        conn = self._conns[core]
-        try:
-            conn.send(op)
-            while not conn.poll(_POLL_S):
-                if not self._procs[core].is_alive():
-                    raise EOFError
-            ok, err = conn.recv()
-        except (EOFError, OSError, BrokenPipeError) as exc:
-            # The worker died mid-task (OOM kill, segfault, kill -9).
-            # Respawn it so the pool stays whole, then surface a
-            # structured failure the RetryPolicy can act on.
-            exitcode = getattr(self._procs[core], "exitcode", None)
-            self._reap(core)
-            self._ensure(core)
-            failure = RuntimeFailure(
-                f"worker process {core} died running op {op[0]!r}"
-                f" (exitcode={exitcode})",
-                failure_kind="worker_death",
-            )
-            failure.__cause__ = exc
-            raise failure from exc
+        with self._locks[core]:
+            self._admit(core)
+            conn = self._conns[core]
+            try:
+                conn.send(op)
+                while not conn.poll(_POLL_S):
+                    if not self._procs[core].is_alive():
+                        raise EOFError
+                ok, err = conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                # The worker died mid-task (OOM kill, segfault, kill -9).
+                # Respawn it so the pool stays whole — unless the
+                # governor says the pool is crash-looping — then surface
+                # a structured failure the RetryPolicy can act on.
+                exitcode = getattr(self._procs[core], "exitcode", None)
+                self._reap(core)
+                self.deaths += 1
+                governor = self.respawn_governor
+                throttled = governor is not None and not governor.allow_respawn(core)
+                if not throttled:
+                    self._ensure(core)
+                    self.respawns += 1
+                failure = RuntimeFailure(
+                    f"worker process {core} died running op {op[0]!r}"
+                    f" (exitcode={exitcode})"
+                    + ("; respawn throttled (crash-loop guard)" if throttled else ""),
+                    failure_kind="worker_death",
+                )
+                failure.__cause__ = exc
+                raise failure from exc
         if not ok:
             raise err
+
+    # ------------------------------------------------------------------
+    # Supervision surface (heartbeats)
+    # ------------------------------------------------------------------
+    def worker_alive(self, core: int) -> bool | None:
+        """Liveness of worker *core*: ``None`` = never spawned (lazy)."""
+        proc = self._procs[core]
+        return None if proc is None else proc.is_alive()
+
+    def liveness(self) -> list:
+        """Per-core liveness snapshot (see :meth:`worker_alive`)."""
+        return [self.worker_alive(c) for c in range(self.n_workers)]
+
+    def ensure_alive(self, core: int) -> bool:
+        """Respawn a *spawned-but-dead* worker off the request path.
+
+        Called by the supervisor's heartbeat so a worker killed while
+        idle is back before the next task targets it.  Respects the
+        respawn governor; returns True when a respawn happened.  Never
+        spawns a worker that was not yet started (lazy spawn stays
+        lazy), and never touches a core mid-request (the core lock is
+        only taken when free).
+        """
+        if self._closed:
+            return False
+        if not self._locks[core].acquire(blocking=False):
+            return False  # a request holds the core; its run() recovers
+        try:
+            proc = self._procs[core]
+            if proc is None or proc.is_alive():
+                return False
+            self.deaths += 1
+            governor = self.respawn_governor
+            if governor is not None and not governor.allow_respawn(core):
+                return False
+            self._reap(core)
+            self._ensure(core)
+            self.respawns += 1
+            return True
+        finally:
+            self._locks[core].release()
 
     def _reap(self, core: int) -> None:
         conn = self._conns[core]
@@ -196,6 +294,11 @@ class ProcessExecutor:
     start_method:
         ``multiprocessing`` start method (default: ``"fork"`` where
         available, else the platform default).
+    respawn_governor:
+        Optional rate limiter (an object with ``allow_respawn(core)``)
+        consulted before respawning a dead worker, so a crash-looping
+        workload cannot livelock the pool; see
+        :class:`~repro.service.supervisor.RespawnGovernor`.
     """
 
     def __init__(
@@ -210,6 +313,7 @@ class ProcessExecutor:
         health_checks: bool = True,
         watchdog_poll_s: float = 0.02,
         start_method: str | None = None,
+        respawn_governor=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -222,12 +326,15 @@ class ProcessExecutor:
         self.health_checks = health_checks
         self.watchdog_poll_s = watchdog_poll_s
         self.start_method = start_method
+        self.respawn_governor = respawn_governor
         self._pool: _WorkerPool | None = None
 
     @property
     def pool(self) -> _WorkerPool:
         if self._pool is None or self._pool._closed:
-            self._pool = _WorkerPool(self.n_workers, self.start_method)
+            self._pool = _WorkerPool(
+                self.n_workers, self.start_method, respawn_governor=self.respawn_governor
+            )
         return self._pool
 
     def run(self, graph: TaskGraph, journal=None) -> Trace:

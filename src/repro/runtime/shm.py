@@ -25,11 +25,37 @@ worker exits.
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from multiprocessing import shared_memory
 
 import numpy as np
 
 __all__ = ["SharedArena", "ShmBinding", "attach_array", "spec_nbytes"]
+
+#: Every live arena, so interpreter exit can best-effort destroy them.
+#: Weak references: a collected arena already ran ``__del__``'s destroy.
+_LIVE_ARENAS: "weakref.WeakSet[SharedArena]" = weakref.WeakSet()
+
+
+def _atexit_destroy() -> None:
+    """Best-effort unlink of every surviving arena at interpreter exit.
+
+    ``__del__`` covers the common case but is not guaranteed to run for
+    objects alive at shutdown (module teardown order, reference cycles);
+    this backstop makes normal interpreter exit leak-free.  A ``kill
+    -9`` skips atexit entirely — there the ``multiprocessing``
+    resource tracker (a separate process that outlives the parent)
+    unlinks the registered segments instead.
+    """
+    for arena in list(_LIVE_ARENAS):
+        try:
+            arena.destroy()
+        except Exception:
+            pass
+
+
+atexit.register(_atexit_destroy)
 
 _ALIGN = 64  # cache-line align every allocation
 _DEFAULT_SEGMENT = 16 << 20  # 16 MiB per segment unless an alloc is larger
@@ -58,6 +84,7 @@ class SharedArena:
         self._segments: list[shared_memory.SharedMemory] = []
         self._used: list[int] = []  # bump offset per segment
         self._destroyed = False
+        _LIVE_ARENAS.add(self)
 
     # ------------------------------------------------------------------
     # Parent-side allocation

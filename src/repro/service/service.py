@@ -1,0 +1,753 @@
+"""The factorization service: one pool, many requests, bounded failure.
+
+:class:`FactorizationService` is the front-end the ROADMAP's north star
+calls for: a long-lived, thread-safe object accepting concurrent
+``factor``/``solve``/``lstsq`` requests and multiplexing them onto one
+shared worker-process pool and shared-memory arena.  Compiled
+:class:`~repro.runtime.program.GraphProgram` plans are cached per
+``(op, shape, b, tr, tree, backend)`` so repeat shapes skip graph
+construction entirely — the request loads its matrix into the plan's
+buffer, runs the pre-built graph, and extracts the factors.
+
+Every request leaves through exactly one of four doors:
+
+* a correct result (bitwise-identical to a direct ``calu``/``caqr``
+  call with the same parameters and backend);
+* :class:`~repro.service.admission.AdmissionRejected` — shed before
+  running (queue full, or the service is shutting down);
+* :class:`~repro.service.admission.DeadlineExceeded` — the per-request
+  deadline passed (while queued, waiting for a plan, or mid-run via the
+  engine watchdog);
+* :class:`~repro.resilience.recovery.RuntimeFailure` — the run failed
+  structurally after bounded retries.
+
+Never a hang, and never a silently wrong answer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.calu import CALUFactorization, calu_program
+from repro.core.caqr import CAQRFactorization, caqr_program
+from repro.core.layout import BlockLayout
+from repro.core.trees import TreeKind
+from repro.resilience.health import (
+    NumericalHealthWarning,
+    validate_matrix,
+    validate_rhs,
+)
+from repro.resilience.recovery import RetryPolicy, RuntimeFailure
+from repro.runtime.engine import CentralFrontier, ExecutionEngine
+from repro.service.admission import AdmissionQueue, AdmissionRejected, DeadlineExceeded
+from repro.service.breaker import CircuitBreaker
+from repro.service.supervisor import PoolSupervisor, RespawnGovernor
+
+__all__ = ["FactorizationService", "ServiceConfig"]
+
+#: Failure kinds worth a bounded request-level retry: transient
+#: infrastructure trouble or injected/corruption faults.  A
+#: ``task_error`` is assumed deterministic (the same matrix will fail
+#: the same way), and ``deadline``/``admission`` are final by nature.
+_RETRYABLE_KINDS = frozenset(
+    {"worker_death", "timeout", "stall", "deadlock", "injected", "health", "comm"}
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for a :class:`FactorizationService`.
+
+    Parameters
+    ----------
+    cores:
+        Worker count: pool processes (process backend) and engine
+        threads per request.
+    backend:
+        ``"process"`` (worker pool + shared arena), ``"threaded"``
+        (in-process engine only), or ``"auto"`` (process where ``fork``
+        is available, else threaded).
+    max_active, max_queue:
+        Admission bounds: requests running concurrently, and requests
+        queued behind them before load shedding kicks in.
+    default_deadline_s:
+        Deadline applied to requests that pass none (None = unbounded).
+    task_timeout_s, stall_timeout_s:
+        Per-task and no-progress watchdog timeouts forwarded to every
+        request's engine (None = disabled).
+    max_attempts:
+        Total request-level attempts (1 = no retry).  Retries re-load
+        the plan buffer and re-run the whole graph, so they are safe
+        regardless of which tasks completed in the failed attempt.
+    retry_backoff_s, retry_jitter, seed:
+        Exponential-backoff base, jitter fraction and seed for the
+        request-level retry schedule (and, with ``task_retries``, the
+        engine's task-level :class:`RetryPolicy`).
+    task_retries:
+        Task-level retries inside each engine run.
+    breaker_threshold, breaker_window_s, breaker_open_s, breaker_probes:
+        Circuit-breaker tuning (see
+        :class:`~repro.service.breaker.CircuitBreaker`).
+    max_plans, plans_per_key:
+        Plan-cache bounds: total compiled plans cached, and identical
+        plans per key (>1 lets several same-shape requests run
+        concurrently).  Overflow requests build ephemeral plans.
+    heartbeat_s:
+        Pool-supervisor heartbeat period (0 disables supervision).
+    max_respawns, respawn_window_s:
+        Worker respawn-rate throttle (see
+        :class:`~repro.service.supervisor.RespawnGovernor`).
+    reaper_poll_s:
+        Deadline-reaper poll period.
+    start_method:
+        ``multiprocessing`` start method for the pool (None = default).
+    fault_plan_factory:
+        Testing hook: a zero-argument callable returning a
+        :class:`~repro.resilience.faults.FaultPlan` (or None) for each
+        engine run, letting chaos tests inject faults mid-request.
+    """
+
+    cores: int = 4
+    backend: str = "auto"
+    max_active: int = 2
+    max_queue: int = 8
+    default_deadline_s: float | None = None
+    task_timeout_s: float | None = None
+    stall_timeout_s: float | None = None
+    max_attempts: int = 2
+    retry_backoff_s: float = 0.005
+    retry_jitter: float = 0.5
+    seed: int = 0
+    task_retries: int = 2
+    breaker_threshold: int = 3
+    breaker_window_s: float = 30.0
+    breaker_open_s: float = 1.0
+    breaker_probes: int = 1
+    max_plans: int = 8
+    plans_per_key: int = 2
+    heartbeat_s: float = 0.2
+    max_respawns: int = 8
+    respawn_window_s: float = 1.0
+    reaper_poll_s: float = 0.05
+    start_method: str | None = None
+    fault_plan_factory: "Callable[[], object] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("auto", "process", "threaded"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.max_plans < 1 or self.plans_per_key < 1:
+            raise ValueError("max_plans and plans_per_key must be >= 1")
+
+
+class _CompiledPlan:
+    """One cached, re-runnable factorization graph and its buffer.
+
+    The graph's closures (and shared-memory op descriptors, when built
+    for the process backend) are bound to ``A_buf``; :meth:`load`
+    copies a request's matrix in and resets the per-run workspace state
+    so the graph replays cleanly.  A plan serves one request at a time
+    (the cache enforces exclusivity).
+    """
+
+    def __init__(self, key, graph, A_buf, *, workspaces=None, stores=None, arena=None):
+        self.key = key
+        self.graph = graph
+        self.A_buf = A_buf
+        self.workspaces = workspaces  # CALU: per-panel PanelWorkspace
+        self.stores = stores  # CAQR: per-panel PanelQRStore
+        self.arena = arena  # process backend only
+        self.runs = 0
+
+    def load(self, A: np.ndarray) -> None:
+        self.A_buf[...] = A
+        if self.workspaces is not None:
+            for ws in self.workspaces:
+                # The closures reassign piv/candidates wholesale, but
+                # the degradation flags are only ever *set* — stale
+                # True values would leak into this run's report.
+                ws.degraded = False
+                ws.recomputed = False
+        self.runs += 1
+
+    def destroy(self) -> None:
+        if self.arena is not None:
+            self.arena.destroy()
+
+
+class _Request:
+    """Reaper-visible in-flight request state."""
+
+    __slots__ = ("rid", "deadline", "deadline_s", "expired")
+
+    def __init__(self, rid: int, deadline: float | None, deadline_s: float) -> None:
+        self.rid = rid
+        self.deadline = deadline
+        self.deadline_s = deadline_s
+        self.expired = threading.Event()
+
+
+class FactorizationService:
+    """Thread-safe factorization front-end over one shared worker pool.
+
+    See the module docstring for the request contract and
+    :class:`ServiceConfig` for the knobs.  Use as a context manager, or
+    call :meth:`close` to drain: in-flight requests finish, queued ones
+    are rejected, workers terminate and arena segments are unlinked.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = cfg = config if config is not None else ServiceConfig()
+        backend = cfg.backend
+        if backend == "auto":
+            backend = (
+                "process"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "threaded"
+            )
+        self.backend = backend
+        self._admission = AdmissionQueue(cfg.max_active, cfg.max_queue)
+        self._breaker = CircuitBreaker(
+            failure_threshold=cfg.breaker_threshold,
+            window_s=cfg.breaker_window_s,
+            open_s=cfg.breaker_open_s,
+            probe_successes=cfg.breaker_probes,
+        )
+        self._governor = RespawnGovernor(cfg.max_respawns, cfg.respawn_window_s)
+        self._executor = None
+        self._supervisor = None
+        if backend == "process":
+            from repro.runtime.process import ProcessExecutor
+
+            self._executor = ProcessExecutor(
+                n_workers=cfg.cores,
+                start_method=cfg.start_method,
+                respawn_governor=self._governor,
+            )
+            if cfg.heartbeat_s > 0.0:
+                self._supervisor = PoolSupervisor(
+                    self._executor.pool, heartbeat_s=cfg.heartbeat_s
+                )
+                self._supervisor.start()
+        # Task-level retries (inside one engine run) and request-level
+        # retries (whole-graph re-run) share the backoff machinery.
+        self._task_retry = RetryPolicy(
+            max_retries=cfg.task_retries,
+            jitter=cfg.retry_jitter,
+            seed=cfg.seed,
+        )
+        self._request_retry = RetryPolicy(
+            max_retries=max(cfg.max_attempts - 1, 0),
+            backoff_s=cfg.retry_backoff_s,
+            jitter=cfg.retry_jitter,
+            seed=cfg.seed + 1,
+            retry_all=True,
+        )
+        # Plan cache: key -> list of _CompiledPlan | None ("building"
+        # placeholder); exclusivity via _busy.  One condition covers
+        # checkouts, check-ins and the reaper's deadline kicks.
+        self._plan_cond = threading.Condition()
+        self._plans: dict[tuple, list] = {}
+        self._busy: set[int] = set()  # id(plan) of checked-out plans
+        self.plan_hits = 0
+        self.plan_builds = 0
+        self.plan_ephemeral = 0
+        self._inflight: dict[int, _Request] = {}
+        self._inflight_lock = threading.Lock()
+        self._rid = itertools.count()
+        self._closed = False
+        self._reaper_stop = threading.Event()
+        self._reaper = threading.Thread(
+            target=self._reap_loop, name="repro-svc-reaper", daemon=True
+        )
+        self._reaper.start()
+
+    # ------------------------------------------------------------------
+    # Public request API
+    # ------------------------------------------------------------------
+    def factor(
+        self,
+        A: np.ndarray,
+        *,
+        b: int | None = None,
+        tr: int | None = None,
+        tree: TreeKind | None = None,
+        deadline_s: float | None = None,
+    ) -> CALUFactorization:
+        """CALU-factor *A*; returns a detached :class:`CALUFactorization`."""
+        A = np.asarray(validate_matrix(A, "A"), dtype=float)
+        params = self._resolve(A.shape, b, tr, tree, kind="lu")
+
+        def extract(plan, trace):
+            self._guard_finite(plan, "CALU")
+            lu = np.array(plan.A_buf)
+            piv, degraded, recovered = self._assemble_piv(plan, params)
+            return CALUFactorization(
+                lu=lu,
+                piv=piv,
+                b=params[0],
+                tr=params[1],
+                tree=params[2],
+                trace=trace,
+                degraded_panels=degraded,
+                recovered_panels=recovered,
+            )
+
+        return self._request("lu", A, params, deadline_s, extract)
+
+    def solve(
+        self,
+        A: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        b: int | None = None,
+        tr: int | None = None,
+        tree: TreeKind | None = None,
+        auto_refine: bool = True,
+        rtol: float | None = None,
+        report: bool = False,
+        deadline_s: float | None = None,
+    ):
+        """Solve ``A x = rhs``; mirrors :func:`repro.linalg.solve`.
+
+        Residual monitoring and auto-escalation to iterative refinement
+        behave exactly as in the direct entry point; with
+        ``report=True`` returns ``(x, SolveReport)``.
+        """
+        A = np.asarray(validate_matrix(A, "A"), dtype=float)
+        if A.shape[0] != A.shape[1]:
+            raise ValueError(f"solve requires a square matrix, got shape {A.shape}")
+        rhs = np.asarray(validate_rhs(rhs, A.shape[0], "rhs"), dtype=float)
+        params = self._resolve(A.shape, b, tr, tree, kind="lu")
+
+        def extract(plan, trace):
+            self._guard_finite(plan, "CALU")
+            piv, degraded, recovered = self._assemble_piv(plan, params)
+            # The factorization views the plan's buffer directly — all
+            # solves/refinement happen while the plan is held, and only
+            # the solution leaves.
+            f = CALUFactorization(
+                lu=plan.A_buf,
+                piv=piv,
+                b=params[0],
+                tr=params[1],
+                tree=params[2],
+                degraded_panels=degraded,
+                recovered_panels=recovered,
+            )
+            return self._finish_solve(A, f, rhs, auto_refine, rtol, report)
+
+        return self._request("lu", A, params, deadline_s, extract)
+
+    def lstsq(
+        self,
+        A: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        b: int | None = None,
+        tr: int | None = None,
+        tree: TreeKind | None = None,
+        deadline_s: float | None = None,
+    ) -> np.ndarray:
+        """Least squares ``min ||A x - rhs||_2`` via CAQR (``m >= n``)."""
+        A = np.asarray(validate_matrix(A, "A"), dtype=float)
+        if A.shape[0] < A.shape[1]:
+            raise ValueError(f"lstsq requires m >= n, got shape {A.shape}")
+        rhs = np.asarray(validate_rhs(rhs, A.shape[0], "rhs"), dtype=float)
+        params = self._resolve(A.shape, b, tr, tree, kind="qr")
+
+        def extract(plan, trace):
+            self._guard_finite(plan, "CAQR")
+            f = CAQRFactorization(
+                packed=plan.A_buf,
+                panels=plan.stores,
+                b=params[0],
+                tr=params[1],
+                tree=params[2],
+            )
+            return f.solve_ls(rhs)
+
+        return self._request("qr", A, params, deadline_s, extract)
+
+    # ------------------------------------------------------------------
+    # Request machinery
+    # ------------------------------------------------------------------
+    def _resolve(self, shape, b, tr, tree, kind: str):
+        from repro.core.autotune import recommend_params
+
+        m, n = shape
+        rec = recommend_params(m, n, cores=self.config.cores, kind=kind)
+        return (
+            int(b if b is not None else rec.b),
+            int(tr if tr is not None else rec.tr),
+            tree if tree is not None else rec.tree,
+        )
+
+    def _request(self, op, A, params, deadline_s, extract):
+        cfg = self.config
+        t0 = time.monotonic()
+        if deadline_s is None:
+            deadline_s = cfg.default_deadline_s
+        deadline = None if deadline_s is None else t0 + float(deadline_s)
+        self._admission.try_acquire(deadline, deadline_s or 0.0)
+        req = _Request(next(self._rid), deadline, deadline_s or 0.0)
+        with self._inflight_lock:
+            self._inflight[req.rid] = req
+        try:
+            return self._attempt_loop(op, A, params, req, extract)
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(req.rid, None)
+            self._admission.release(time.monotonic() - t0)
+
+    def _attempt_loop(self, op, A, params, req, extract):
+        cfg = self.config
+        attempt = 0
+        while True:
+            self._check_deadline(req, "run")
+            mode = self._breaker.acquire() if self._executor is not None else None
+            use_process = self._executor is not None and mode in ("primary", "probe")
+            try:
+                result = self._run_once(op, A, params, req, use_process, extract)
+            except RuntimeFailure as exc:
+                kind = exc.failure_kind
+                if mode is not None:
+                    self._breaker.record(mode, ok=False, kind=kind)
+                if kind == "deadline" and not isinstance(exc, DeadlineExceeded):
+                    raise DeadlineExceeded(
+                        f"deadline ({req.deadline_s:.3g}s) passed mid-run: {exc}",
+                        deadline_s=req.deadline_s,
+                        stage="run",
+                    ) from exc
+                attempt += 1
+                if (
+                    kind not in _RETRYABLE_KINDS
+                    or attempt >= cfg.max_attempts
+                    or self._closed
+                ):
+                    raise
+                delay = self._request_retry.delay(attempt - 1, tid=req.rid)
+                if req.deadline is not None and time.monotonic() + delay >= req.deadline:
+                    raise  # no deadline budget left for another attempt
+                time.sleep(delay)
+                continue
+            if mode is not None:
+                self._breaker.record(mode, ok=True)
+            # Strict deadline semantics: a result that arrives after the
+            # deadline is a deadline miss, not a success — callers that
+            # set deadlines want the bound, and the watchdog only polls
+            # every ~20 ms, so fast runs can finish past a short one.
+            self._check_deadline(req, "post-run")
+            return result
+
+    def _run_once(self, op, A, params, req, use_process, extract):
+        cfg = self.config
+        plan, cached = self._checkout_plan(op, A.shape, params, use_process, req)
+        try:
+            plan.load(A)
+            fault_plan = (
+                cfg.fault_plan_factory() if cfg.fault_plan_factory is not None else None
+            )
+            engine = ExecutionEngine(
+                n_workers=cfg.cores,
+                frontier=CentralFrontier("priority"),
+                retry=self._task_retry,
+                fault_plan=fault_plan,
+                task_timeout=cfg.task_timeout_s,
+                stall_timeout=cfg.stall_timeout_s,
+                deadline=req.deadline,
+                health_checks=True,
+                thread_name=f"repro-svc-{req.rid}",
+                process_pool=self._executor.pool if use_process else None,
+            )
+            trace = engine.run(plan.graph)
+            return extract(plan, trace)
+        finally:
+            self._checkin_plan(plan, cached)
+
+    def _check_deadline(self, req: _Request, stage: str) -> None:
+        if req.deadline is None:
+            return
+        if req.expired.is_set() or time.monotonic() >= req.deadline:
+            raise DeadlineExceeded(
+                f"deadline ({req.deadline_s:.3g}s) passed before the {stage} stage",
+                deadline_s=req.deadline_s,
+                stage=stage,
+            )
+
+    @staticmethod
+    def _guard_finite(plan: _CompiledPlan, algo: str) -> None:
+        if not np.isfinite(plan.A_buf).all():
+            raise RuntimeFailure(
+                f"{algo} produced non-finite factors (undetected corruption)",
+                failure_kind="health",
+            )
+
+    @staticmethod
+    def _assemble_piv(plan: _CompiledPlan, params):
+        b = params[0]
+        m, n = plan.A_buf.shape
+        layout = BlockLayout(m, n, b)
+        r = min(m, n)
+        piv = np.arange(r, dtype=np.int64)
+        for K, ws in enumerate(plan.workspaces):
+            k0 = K * b
+            bk = layout.panel_width(K)
+            piv[k0 : k0 + bk] = ws.piv[:bk] + k0
+        degraded = tuple(K for K, ws in enumerate(plan.workspaces) if ws.degraded)
+        recovered = tuple(K for K, ws in enumerate(plan.workspaces) if ws.recomputed)
+        return piv, degraded, recovered
+
+    def _finish_solve(self, A, f, rhs, auto_refine, rtol, report):
+        """Solve + residual monitoring, mirroring :func:`repro.linalg.solve`."""
+        from repro.linalg import SolveReport, _scaled_residual, iterative_refinement
+
+        x = f.solve(rhs)
+        rep = SolveReport(degraded_panels=f.degraded_panels)
+        if auto_refine or report:
+            n = A.shape[0]
+            tol = rtol if rtol is not None else float(np.sqrt(n) * 100 * np.finfo(A.dtype).eps)
+            rep.tol = tol
+            rep.residual = _scaled_residual(A, x, rhs)
+            if auto_refine and rep.residual > tol:
+                scale = float(
+                    np.linalg.norm(A, ord=np.inf) * np.linalg.norm(x) + np.linalg.norm(rhs)
+                )
+                x, hist = iterative_refinement(A, f, rhs, max_iters=5, tol=tol * scale, x0=x)
+                rep.refine_steps += len(hist) - 1
+                rep.history.extend(hist)
+                rep.residual = _scaled_residual(A, x, rhs)
+            rep.converged = bool(rep.residual <= tol)
+            if not rep.converged and auto_refine:
+                warnings.warn(
+                    f"solve: residual {rep.residual:.3g} did not reach tolerance "
+                    f"{rep.tol:.3g} after {rep.refine_steps} refinement steps "
+                    "(ill-conditioned system?)",
+                    NumericalHealthWarning,
+                    stacklevel=4,
+                )
+        return (x, rep) if report else x
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+    def _plan_key(self, op, shape, params) -> tuple:
+        b, tr, tree = params
+        return (op, shape[0], shape[1], b, tr, tree.value, self.backend)
+
+    def _total_plans(self) -> int:
+        return sum(len(v) for v in self._plans.values())
+
+    def _checkout_plan(self, op, shape, params, use_process, req):
+        """Return ``(plan, cached)`` with the plan exclusively held.
+
+        Cached plans are reused per key (up to ``plans_per_key``
+        concurrently-usable copies); beyond ``max_plans`` total an idle
+        plan is evicted, else the request gets an *ephemeral* plan that
+        dies with it.  Waits are bounded by the request's deadline.
+        """
+        cfg = self.config
+        key = self._plan_key(op, shape, params)
+        with self._plan_cond:
+            while True:
+                slots = self._plans.setdefault(key, [])
+                for plan in slots:
+                    if plan is not None and id(plan) not in self._busy:
+                        self._busy.add(id(plan))
+                        self.plan_hits += 1
+                        return plan, True
+                if len(slots) < cfg.plans_per_key:
+                    if self._total_plans() >= cfg.max_plans and not self._evict_idle(key):
+                        break  # cache full of busy plans: go ephemeral
+                    slots.append(None)  # placeholder: building
+                    break
+                # Per-key cap reached and all copies busy: wait for one.
+                timeout = 0.1
+                if req.deadline is not None:
+                    remaining = req.deadline - time.monotonic()
+                    if remaining <= 0.0 or req.expired.is_set():
+                        raise DeadlineExceeded(
+                            f"deadline ({req.deadline_s:.3g}s) passed waiting "
+                            "for a compiled plan",
+                            deadline_s=req.deadline_s,
+                            stage="plan",
+                        )
+                    timeout = min(timeout, remaining)
+                self._plan_cond.wait(timeout)
+        # Build outside the lock: graph construction is the expensive
+        # part the cache exists to amortize.
+        try:
+            plan = self._build_plan(key, op, shape, params)
+        except BaseException:
+            with self._plan_cond:
+                slots = self._plans.get(key, [])
+                if None in slots:
+                    slots.remove(None)
+                self._plan_cond.notify_all()
+            raise
+        with self._plan_cond:
+            slots = self._plans.get(key, [])
+            if None in slots:
+                slots[slots.index(None)] = plan
+                self._busy.add(id(plan))
+                self.plan_builds += 1
+                return plan, True
+        self.plan_ephemeral += 1
+        return plan, False
+
+    def _evict_idle(self, keep_key) -> bool:
+        """Drop one idle plan from another key; True on success.
+
+        Called under ``_plan_cond``.
+        """
+        for key, slots in self._plans.items():
+            if key == keep_key:
+                continue
+            for i, plan in enumerate(slots):
+                if plan is not None and id(plan) not in self._busy:
+                    del slots[i]
+                    plan.destroy()
+                    return True
+        return False
+
+    def _checkin_plan(self, plan: _CompiledPlan, cached: bool) -> None:
+        if not cached:
+            plan.destroy()
+            return
+        with self._plan_cond:
+            self._busy.discard(id(plan))
+            self._plan_cond.notify_all()
+
+    def _build_plan(self, key, op, shape, params) -> _CompiledPlan:
+        b, tr, tree = params
+        m, n = shape
+        layout = BlockLayout(m, n, b)
+        arena = shm = None
+        if self.backend == "process":
+            from repro.runtime.shm import SharedArena, ShmBinding
+
+            arena = SharedArena()
+            A_buf = arena.alloc((m, n))
+            shm = ShmBinding(arena, A_buf)
+        else:
+            A_buf = np.zeros((m, n))
+        # Note: the pivot-growth monitor keys off the buffer's build-time
+        # magnitude (zero here), so cached plans run without it; the
+        # fatal finiteness guards — and the final _guard_finite sweep —
+        # remain fully armed.  See docs/SERVICE.md.
+        if op == "lu":
+            program, workspaces = calu_program(layout, tr, tree, A=A_buf, shm=shm)
+            return _CompiledPlan(
+                key, program.materialize(), A_buf, workspaces=workspaces, arena=arena
+            )
+        program, stores = caqr_program(layout, tr, tree, A=A_buf, shm=shm)
+        return _CompiledPlan(key, program.materialize(), A_buf, stores=stores, arena=arena)
+
+    # ------------------------------------------------------------------
+    # Deadline reaper
+    # ------------------------------------------------------------------
+    def _reap_loop(self) -> None:
+        while not self._reaper_stop.wait(self.config.reaper_poll_s):
+            now = time.monotonic()
+            expired_any = False
+            with self._inflight_lock:
+                for req in self._inflight.values():
+                    if (
+                        req.deadline is not None
+                        and now >= req.deadline
+                        and not req.expired.is_set()
+                    ):
+                        req.expired.set()
+                        expired_any = True
+            if expired_any:
+                # Wake anything blocked on admission or plan checkout so
+                # the expired requests surface DeadlineExceeded promptly
+                # (the engine watchdog handles mid-run expiry itself).
+                self._admission.kick()
+                with self._plan_cond:
+                    self._plan_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Lifecycle and introspection
+    # ------------------------------------------------------------------
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The service's circuit breaker (read it; the service drives it)."""
+        return self._breaker
+
+    def stats(self) -> dict:
+        """One snapshot of every subsystem's counters."""
+        out = {
+            "backend": self.backend,
+            "admission": self._admission.snapshot(),
+            "breaker": self._breaker.snapshot(),
+            "respawn": self._governor.snapshot(),
+            "plans": {
+                "cached": self._total_plans(),
+                "hits": self.plan_hits,
+                "builds": self.plan_builds,
+                "ephemeral": self.plan_ephemeral,
+            },
+        }
+        if self._supervisor is not None:
+            out["supervisor"] = {
+                "heartbeats": self._supervisor.heartbeats,
+                "healed": self._supervisor.healed,
+            }
+        if self._executor is not None and self._executor._pool is not None:
+            pool = self._executor._pool
+            out["pool"] = {
+                "liveness": pool.liveness(),
+                "deaths": pool.deaths,
+                "respawns": pool.respawns,
+            }
+        return out
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Graceful drain (idempotent): finish in-flight, reject queued,
+        stop supervision, terminate workers, unlink arena segments."""
+        if self._closed:
+            return
+        self._closed = True
+        self._admission.close()
+        self._admission.wait_idle(timeout)
+        self._reaper_stop.set()
+        self._reaper.join(timeout=2.0)
+        if self._supervisor is not None:
+            self._supervisor.stop()
+        if self._executor is not None:
+            self._executor.close()
+        with self._plan_cond:
+            plans = [p for slots in self._plans.values() for p in slots if p is not None]
+            self._plans.clear()
+            self._busy.clear()
+            self._plan_cond.notify_all()
+        for plan in plans:
+            plan.destroy()
+
+    def __enter__(self) -> "FactorizationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close(timeout=1.0)
+        except Exception:
+            pass

@@ -133,6 +133,52 @@ class TestFileStore:
             fs.save_arrays(f"k{i}", {"x": np.ones(2)})
         assert not [n for n in os.listdir(fs.root) if n.endswith(".tmp")]
 
+    def _record_fsyncs(self, monkeypatch):
+        """Patch os.fsync to log whether each fd is a file or directory."""
+        import stat as stat_mod
+
+        synced = []
+        real_fsync = os.fsync
+
+        def spy(fd):
+            synced.append(
+                "dir" if stat_mod.S_ISDIR(os.fstat(fd).st_mode) else "file"
+            )
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy)
+        return synced
+
+    def test_save_arrays_fsyncs_directory_after_replace(
+        self, tmp_path, monkeypatch
+    ):
+        # os.replace makes the rename atomic, but only an fsync of the
+        # *containing directory* makes it durable: without it a crash
+        # can roll back to a state where the key never existed.
+        fs = FileStore(tmp_path / "s", fsync=True)
+        synced = self._record_fsyncs(monkeypatch)
+        fs.save_arrays("k", {"x": np.ones(3)})
+        assert "dir" in synced
+        assert synced.index("file") < synced.index("dir")  # file first
+
+    def test_append_line_fsyncs_directory_on_creation_only(
+        self, tmp_path, monkeypatch
+    ):
+        fs = FileStore(tmp_path / "s", fsync=True)
+        synced = self._record_fsyncs(monkeypatch)
+        fs.append_line("log", "first")  # creates the file: dir entry is new
+        assert synced.count("dir") == 1
+        fs.append_line("log", "second")  # existing file: no dir sync needed
+        assert synced.count("dir") == 1
+        assert synced.count("file") == 2
+
+    def test_no_fsync_flag_means_no_fsync(self, tmp_path, monkeypatch):
+        fs = FileStore(tmp_path / "s", fsync=False)
+        synced = self._record_fsyncs(monkeypatch)
+        fs.save_arrays("k", {"x": np.ones(3)})
+        fs.append_line("log", "line")
+        assert synced == []
+
 
 # ----------------------------------------------------------------------
 # Checkpoint snapshot chain

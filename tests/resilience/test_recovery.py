@@ -51,6 +51,41 @@ class TestRetryPolicy:
         assert p.delay(0) == pytest.approx(0.01)
         assert p.delay(2) == pytest.approx(0.04)
 
+    def test_backoff_cap(self):
+        p = RetryPolicy(backoff_s=0.01, backoff_multiplier=10.0, max_backoff_s=0.05)
+        assert p.delay(0) == pytest.approx(0.01)
+        assert p.delay(1) == pytest.approx(0.05)  # 0.1 capped
+        assert p.delay(5) == pytest.approx(0.05)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        p = RetryPolicy(backoff_s=0.01, jitter=0.5, seed=7)
+        d = p.delay(1, tid=3)
+        # Same (seed, tid, attempt) -> bit-identical delay, every time.
+        assert d == p.delay(1, tid=3)
+        base = 0.01 * p.backoff_multiplier
+        assert base <= d <= base * 1.5
+        # Different tids spread out within the same attempt.
+        delays = {p.delay(1, tid=t) for t in range(16)}
+        assert len(delays) > 1
+
+    def test_jitter_varies_with_seed(self):
+        a = RetryPolicy(backoff_s=0.01, jitter=0.5, seed=0).delay(1, tid=3)
+        b = RetryPolicy(backoff_s=0.01, jitter=0.5, seed=1).delay(1, tid=3)
+        assert a != b
+
+    def test_zero_jitter_is_exact(self):
+        p = RetryPolicy(backoff_s=0.01, jitter=0.0, seed=5)
+        assert p.delay(3, tid=9) == pytest.approx(0.01 * p.backoff_multiplier**3)
+
+    def test_schedule_matches_delay(self):
+        p = RetryPolicy(max_retries=4, backoff_s=0.01, jitter=0.25, seed=2)
+        sched = p.schedule(tid=6)
+        assert sched == [p.delay(a, tid=6) for a in range(4)]
+        # Monotone non-decreasing base keeps the schedule growing even
+        # though jitter wiggles each term by at most +25%.
+        assert len(sched) == 4
+        assert all(d > 0 for d in sched)
+
 
 class TestRuntimeFailure:
     def test_is_a_runtime_error(self):

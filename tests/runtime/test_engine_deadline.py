@@ -1,0 +1,65 @@
+"""Engine run-level deadline: the watchdog aborts late runs structurally."""
+
+import time
+
+import pytest
+
+from repro.resilience.recovery import RuntimeFailure
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import Cost, TaskKind
+
+
+def chain(fns):
+    g = TaskGraph("chain")
+    prev = None
+    for i, fn in enumerate(fns):
+        prev = g.add(
+            f"t{i}",
+            TaskKind.S,
+            Cost("gemm", 4, 4, 4, flops=100.0),
+            fn=fn,
+            deps=[] if prev is None else [prev],
+        )
+    return g
+
+
+def engine(**kw):
+    kw.setdefault("n_workers", 2)
+    kw.setdefault("watchdog_poll_s", 0.01)
+    return ExecutionEngine(**kw)
+
+
+class TestDeadline:
+    def test_deadline_aborts_slow_run(self):
+        g = chain([lambda: time.sleep(0.1) for _ in range(10)])
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeFailure) as exc:
+            engine(deadline=time.monotonic() + 0.05).run(g)
+        assert exc.value.failure_kind == "deadline"
+        # The abort is prompt: nowhere near the 1 s the chain would take.
+        assert time.monotonic() - t0 < 0.6
+
+    def test_deadline_failure_mentions_progress(self):
+        g = chain([lambda: time.sleep(0.1) for _ in range(5)])
+        with pytest.raises(RuntimeFailure) as exc:
+            engine(deadline=time.monotonic() + 0.05).run(g)
+        assert "deadline" in str(exc.value)
+        assert "tasks done" in str(exc.value)
+
+    def test_generous_deadline_is_inert(self):
+        g = chain([lambda: None for _ in range(5)])
+        trace = engine(deadline=time.monotonic() + 60.0).run(g)
+        assert len(trace.records) == 5
+        assert not [e for e in trace.events if e.kind == "deadline"]
+
+    def test_already_expired_deadline(self):
+        g = chain([lambda: time.sleep(0.05) for _ in range(3)])
+        with pytest.raises(RuntimeFailure) as exc:
+            engine(deadline=time.monotonic() - 1.0).run(g)
+        assert exc.value.failure_kind == "deadline"
+
+    def test_no_deadline_runs_to_completion(self):
+        g = chain([lambda: None for _ in range(3)])
+        trace = engine().run(g)
+        assert len(trace.records) == 3

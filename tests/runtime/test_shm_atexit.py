@@ -1,0 +1,121 @@
+"""Shared-memory leak protection: atexit backstop and kill -9 coverage.
+
+Two layers keep ``/dev/shm`` clean when a driver forgets (or never gets
+the chance) to call :meth:`SharedArena.destroy`:
+
+* a module-level ``atexit`` hook destroys every live arena on normal
+  interpreter exit;
+* ``kill -9`` skips atexit entirely — there the stdlib
+  ``multiprocessing`` resource tracker (a separate process that
+  outlives the SIGKILL'd parent) unlinks the registered segments.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import shm as shm_mod
+from repro.runtime.shm import SharedArena
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+shm_fs = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="requires a /dev/shm tmpfs"
+)
+
+
+def _segment_paths(arena):
+    return [f"/dev/shm/{seg.name}" for seg in arena._segments]
+
+
+def _wait_gone(paths, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not any(os.path.exists(p) for p in paths):
+            return True
+        time.sleep(0.05)
+    return not any(os.path.exists(p) for p in paths)
+
+
+class TestAtexitHook:
+    def test_hook_is_registered_and_destroys_live_arenas(self):
+        arena = SharedArena()
+        arena.alloc((8, 8))
+        assert arena in shm_mod._LIVE_ARENAS
+        shm_mod._atexit_destroy()
+        assert arena._destroyed
+
+    def test_hook_survives_an_already_destroyed_arena(self):
+        arena = SharedArena()
+        arena.alloc(4)
+        arena.destroy()
+        shm_mod._atexit_destroy()  # must not raise
+
+    @shm_fs
+    def test_normal_exit_without_destroy_leaks_nothing(self):
+        # A child that builds an arena, keeps a strong global reference
+        # (so __del__ alone cannot be the cleaner) and exits without
+        # calling destroy(): the atexit hook must unlink the segments.
+        code = textwrap.dedent(
+            """
+            import sys
+            from repro.runtime.shm import SharedArena
+            KEEP = SharedArena()
+            KEEP.alloc((64, 64))
+            for seg in KEEP._segments:
+                print(seg.name)
+            sys.stdout.flush()
+            """
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={**os.environ, "PYTHONPATH": SRC},
+        )
+        assert out.returncode == 0, out.stderr
+        names = out.stdout.split()
+        assert names, "child created no segments"
+        assert _wait_gone([f"/dev/shm/{n}" for n in names]), (
+            "segments leaked after normal exit: " + out.stdout
+        )
+
+
+@shm_fs
+class TestKillDashNine:
+    def test_sigkill_leaks_nothing(self):
+        # The child reports its segment names, then SIGKILLs itself —
+        # no atexit, no __del__.  The multiprocessing resource tracker
+        # must reap the segments.
+        code = textwrap.dedent(
+            """
+            import os, sys
+            from repro.runtime.shm import SharedArena
+            arena = SharedArena()
+            arena.alloc((64, 64))
+            for seg in arena._segments:
+                print(seg.name)
+            sys.stdout.flush()
+            os.kill(os.getpid(), 9)
+            """
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={**os.environ, "PYTHONPATH": SRC},
+        )
+        assert out.returncode == -signal.SIGKILL
+        names = out.stdout.split()
+        assert names, "child created no segments"
+        assert _wait_gone([f"/dev/shm/{n}" for n in names]), (
+            "segments leaked after kill -9: " + out.stdout
+        )

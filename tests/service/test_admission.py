@@ -1,0 +1,118 @@
+"""AdmissionQueue unit tests: bounded admission, shedding, deadlines, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience.recovery import RuntimeFailure
+from repro.service.admission import AdmissionQueue, AdmissionRejected, DeadlineExceeded
+
+
+class TestBasics:
+    def test_acquire_release(self):
+        q = AdmissionQueue(max_active=2, max_queue=0)
+        q.try_acquire()
+        q.try_acquire()
+        q.release(0.01)
+        q.try_acquire()
+        snap = q.snapshot()
+        assert snap["active"] == 2 and snap["admitted"] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_active=0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_queue=-1)
+
+    def test_structured_exceptions_are_runtime_failures(self):
+        # The service contract promises structured failures; both exits
+        # must be catchable under the repo-wide RuntimeFailure umbrella.
+        assert issubclass(AdmissionRejected, RuntimeFailure)
+        assert issubclass(DeadlineExceeded, RuntimeFailure)
+        assert AdmissionRejected("x").failure_kind == "admission"
+        assert DeadlineExceeded("x").failure_kind == "deadline"
+
+
+class TestShedding:
+    def test_sheds_fast_when_queue_full(self):
+        q = AdmissionQueue(max_active=1, max_queue=0)
+        q.try_acquire()
+        t0 = time.monotonic()
+        with pytest.raises(AdmissionRejected) as exc:
+            q.try_acquire()
+        # Fast fail: no waiting around.
+        assert time.monotonic() - t0 < 0.1
+        assert exc.value.active == 1
+        assert q.snapshot()["shed"] == 1
+
+    def test_rejection_carries_retry_after_hint(self):
+        q = AdmissionQueue(max_active=1, max_queue=0)
+        q.try_acquire()
+        q.release(0.05)  # seed the service-time EMA
+        q.try_acquire()
+        with pytest.raises(AdmissionRejected) as exc:
+            q.try_acquire()
+        assert exc.value.retry_after_s == pytest.approx(0.05, rel=0.5)
+
+    def test_queued_request_admitted_when_slot_frees(self):
+        q = AdmissionQueue(max_active=1, max_queue=2)
+        q.try_acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            q.try_acquire()
+            admitted.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()
+        q.release()
+        t.join(timeout=5)
+        assert admitted.is_set()
+
+
+class TestDeadlines:
+    def test_deadline_while_queued(self):
+        q = AdmissionQueue(max_active=1, max_queue=2)
+        q.try_acquire()
+        with pytest.raises(DeadlineExceeded) as exc:
+            q.try_acquire(deadline=time.monotonic() + 0.05, deadline_s=0.05)
+        assert exc.value.stage == "queued"
+
+    def test_already_expired_deadline(self):
+        q = AdmissionQueue(max_active=1, max_queue=2)
+        q.try_acquire()
+        with pytest.raises(DeadlineExceeded):
+            q.try_acquire(deadline=time.monotonic() - 1.0, deadline_s=0.0)
+
+
+class TestDrain:
+    def test_close_rejects_new_and_wakes_queued(self):
+        q = AdmissionQueue(max_active=1, max_queue=2)
+        q.try_acquire()
+        outcome = []
+
+        def waiter():
+            try:
+                q.try_acquire()
+                outcome.append("admitted")
+            except AdmissionRejected:
+                outcome.append("rejected")
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=5)
+        assert outcome == ["rejected"]
+        with pytest.raises(AdmissionRejected):
+            q.try_acquire()
+
+    def test_wait_idle(self):
+        q = AdmissionQueue(max_active=1, max_queue=0)
+        q.try_acquire()
+        assert not q.wait_idle(timeout=0.05)
+        threading.Timer(0.05, q.release).start()
+        assert q.wait_idle(timeout=5)

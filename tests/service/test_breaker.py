@@ -1,0 +1,169 @@
+"""CircuitBreaker unit tests with a fake clock (no sleeping)."""
+
+import pytest
+
+from repro.service.breaker import TRIP_KINDS, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make(threshold=3, window=10.0, open_s=1.0, probes=1):
+    clock = FakeClock()
+    cb = CircuitBreaker(
+        failure_threshold=threshold,
+        window_s=window,
+        open_s=open_s,
+        probe_successes=probes,
+        clock=clock,
+    )
+    return cb, clock
+
+
+def fail(cb, kind="worker_death"):
+    mode = cb.acquire()
+    cb.record(mode, ok=False, kind=kind)
+    return mode
+
+
+class TestTripping:
+    def test_stays_closed_below_threshold(self):
+        cb, _ = make(threshold=3)
+        fail(cb)
+        fail(cb)
+        assert cb.state == "closed"
+        assert cb.acquire() == "primary"
+        cb.record("primary", ok=True)
+
+    def test_trips_at_threshold(self):
+        cb, _ = make(threshold=3)
+        for _ in range(3):
+            fail(cb)
+        assert cb.state == "open"
+        assert cb.acquire() == "degraded"
+        cb.record("degraded", ok=True)
+
+    def test_window_slides(self):
+        cb, clock = make(threshold=2, window=1.0)
+        fail(cb)
+        clock.advance(2.0)  # first failure ages out of the window
+        fail(cb)
+        assert cb.state == "closed"
+
+    def test_every_trip_kind_trips(self):
+        for kind in TRIP_KINDS:
+            cb, _ = make(threshold=1)
+            fail(cb, kind=kind)
+            assert cb.state == "open", kind
+
+    def test_request_level_failures_do_not_trip(self):
+        cb, _ = make(threshold=1)
+        fail(cb, kind="task_error")
+        fail(cb, kind="health")
+        fail(cb, kind="admission")
+        assert cb.state == "closed"
+
+    def test_success_does_not_count(self):
+        cb, _ = make(threshold=2)
+        fail(cb)
+        cb.record(cb.acquire(), ok=True)
+        fail(cb)
+        # Two failures within the window: successes don't reset the
+        # sliding window (they are not a health certificate under storm).
+        assert cb.state == "open"
+
+
+class TestRecovery:
+    def _trip(self, cb):
+        fail(cb)
+        assert cb.state == "open"
+
+    def test_probe_after_cooldown(self):
+        cb, clock = make(threshold=1, open_s=1.0)
+        self._trip(cb)
+        assert cb.acquire() == "degraded"
+        cb.record("degraded", ok=True)
+        clock.advance(1.5)
+        assert cb.acquire() == "probe"
+        assert cb.state == "half_open"
+
+    def test_single_probe_in_flight(self):
+        cb, clock = make(threshold=1, open_s=1.0)
+        self._trip(cb)
+        clock.advance(1.5)
+        assert cb.acquire() == "probe"
+        # The probe slot is taken; everyone else still degrades.
+        assert cb.acquire() == "degraded"
+        cb.record("degraded", ok=True)
+
+    def test_probe_success_recloses(self):
+        cb, clock = make(threshold=1, open_s=1.0)
+        self._trip(cb)
+        clock.advance(1.5)
+        mode = cb.acquire()
+        cb.record(mode, ok=True)
+        assert cb.state == "closed"
+        assert cb.acquire() == "primary"
+        cb.record("primary", ok=True)
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        cb, clock = make(threshold=1, open_s=1.0)
+        self._trip(cb)
+        clock.advance(1.5)
+        mode = cb.acquire()
+        cb.record(mode, ok=False, kind="timeout")
+        assert cb.state == "open"
+        # Cool-down restarted: still degraded until another open_s.
+        clock.advance(0.5)
+        assert cb.acquire() == "degraded"
+        cb.record("degraded", ok=True)
+        clock.advance(0.6)
+        assert cb.acquire() == "probe"
+
+    def test_probe_request_level_failure_keeps_probing(self):
+        # A probe that fails with the request's own error (bad matrix)
+        # says nothing about the pool: stay half-open, probe again.
+        cb, clock = make(threshold=1, open_s=1.0)
+        self._trip(cb)
+        clock.advance(1.5)
+        mode = cb.acquire()
+        cb.record(mode, ok=False, kind="task_error")
+        assert cb.state == "half_open"
+        assert cb.acquire() == "probe"
+
+    def test_multi_probe_reclose(self):
+        cb, clock = make(threshold=1, open_s=1.0, probes=2)
+        self._trip(cb)
+        clock.advance(1.5)
+        cb.record(cb.acquire(), ok=True)  # probe 1
+        assert cb.state == "half_open"
+        cb.record(cb.acquire(), ok=True)  # probe 2
+        assert cb.state == "closed"
+
+    def test_transitions_logged(self):
+        cb, clock = make(threshold=1, open_s=1.0)
+        self._trip(cb)
+        clock.advance(1.5)
+        cb.record(cb.acquire(), ok=True)
+        states = [(frm, to) for _, frm, to, _ in cb.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_successes=0)

@@ -1,0 +1,367 @@
+"""FactorizationService integration tests.
+
+Covers result parity with the direct drivers, plan-cache reuse,
+concurrent clients on the shared pool, overload shedding, deadline
+stages, circuit-breaker degradation/recovery, drain semantics and the
+``repro.linalg`` entry points.
+"""
+
+import multiprocessing
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.calu import calu
+from tests.conftest import make_rng
+from repro.core.trees import TreeKind
+from repro.linalg import lstsq as linalg_lstsq
+from repro.linalg import solve as linalg_solve
+from repro.resilience.faults import FaultPlan
+from repro.resilience.recovery import RuntimeFailure
+from repro.service import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    FactorizationService,
+    ServiceConfig,
+)
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process-backend tests require the fork start method",
+)
+
+
+def make_problem(rng, n=96, nrhs=None):
+    A = rng.standard_normal((n, n)) + n * np.eye(n)
+    rhs = rng.standard_normal(n if nrhs is None else (n, nrhs))
+    return A, rhs
+
+
+class TestParityThreaded:
+    """Bitwise parity with the direct drivers on the threaded backend."""
+
+    def test_solve_matches_direct(self):
+        rng = make_rng(0)
+        A, rhs = make_problem(rng)
+        with FactorizationService(ServiceConfig(cores=2, backend="threaded")) as svc:
+            x = svc.solve(A, rhs)
+        assert np.array_equal(x, linalg_solve(A, rhs, cores=2))
+
+    def test_factor_matches_direct_and_is_detached(self):
+        rng = make_rng(1)
+        A, _ = make_problem(rng)
+        ref = calu(A, b=32, tr=32, tree=TreeKind.BINARY)
+        with FactorizationService(ServiceConfig(cores=2, backend="threaded")) as svc:
+            f = svc.factor(A, b=32, tr=32, tree=TreeKind.BINARY)
+            assert np.array_equal(f.lu, ref.lu)
+            assert np.array_equal(f.piv, ref.piv)
+            # Detached: a later request on the same shape must not be
+            # able to mutate an already-returned factorization.
+            lu_before = f.lu.copy()
+            svc.factor(rng.standard_normal(A.shape) + A.shape[0] * np.eye(A.shape[0]))
+            assert np.array_equal(f.lu, lu_before)
+
+    def test_lstsq_matches_direct(self):
+        rng = make_rng(2)
+        A = rng.standard_normal((128, 48))
+        rhs = rng.standard_normal(128)
+        with FactorizationService(ServiceConfig(cores=2, backend="threaded")) as svc:
+            x = svc.lstsq(A, rhs)
+        assert np.array_equal(x, linalg_lstsq(A, rhs, cores=2))
+
+    def test_solve_report_and_refinement_path(self):
+        rng = make_rng(3)
+        A, rhs = make_problem(rng, n=64)
+        with FactorizationService(ServiceConfig(cores=2, backend="threaded")) as svc:
+            x, rep = svc.solve(A, rhs, report=True)
+        xd, repd = linalg_solve(A, rhs, cores=2, report=True)
+        assert np.array_equal(x, xd)
+        assert rep.residual == repd.residual
+        assert rep.refine_steps == repd.refine_steps
+
+
+@fork_only
+class TestParityProcess:
+    def test_solve_matches_direct_process(self):
+        rng = make_rng(4)
+        A, rhs = make_problem(rng)
+        with FactorizationService(ServiceConfig(cores=2, backend="process")) as svc:
+            x = svc.solve(A, rhs)
+        assert np.array_equal(x, linalg_solve(A, rhs, cores=2, executor="process"))
+
+    def test_lstsq_matches_direct_process(self):
+        rng = make_rng(5)
+        A = rng.standard_normal((128, 48))
+        rhs = rng.standard_normal(128)
+        with FactorizationService(ServiceConfig(cores=2, backend="process")) as svc:
+            x = svc.lstsq(A, rhs)
+        assert np.array_equal(x, linalg_lstsq(A, rhs, cores=2, executor="process"))
+
+
+class TestPlanCache:
+    def test_repeat_solves_hit_cache_and_are_deterministic(self):
+        rng = make_rng(6)
+        A, rhs = make_problem(rng)
+        with FactorizationService(ServiceConfig(cores=2, backend="threaded")) as svc:
+            x1 = svc.solve(A, rhs)
+            x2 = svc.solve(A, rhs)
+            stats = svc.stats()["plans"]
+        assert np.array_equal(x1, x2)
+        assert stats["builds"] == 1 and stats["hits"] == 1
+
+    def test_distinct_shapes_get_distinct_plans(self):
+        rng = make_rng(7)
+        A1, r1 = make_problem(rng, n=64)
+        A2, r2 = make_problem(rng, n=96)
+        with FactorizationService(ServiceConfig(cores=2, backend="threaded")) as svc:
+            svc.solve(A1, r1)
+            svc.solve(A2, r2)
+            stats = svc.stats()["plans"]
+        assert stats["builds"] == 2 and stats["cached"] == 2
+
+    def test_cache_eviction_bounded_by_max_plans(self):
+        rng = make_rng(8)
+        cfg = ServiceConfig(cores=2, backend="threaded", max_plans=2)
+        with FactorizationService(cfg) as svc:
+            for n in (48, 64, 80, 96):
+                A, rhs = make_problem(rng, n=n)
+                svc.solve(A, rhs)
+            stats = svc.stats()["plans"]
+        assert stats["cached"] <= 2
+        assert stats["builds"] == 4
+
+
+class TestConcurrency:
+    def test_concurrent_clients_all_correct(self):
+        rng = make_rng(9)
+        problems = [make_problem(rng, n=64) for _ in range(6)]
+        refs = [linalg_solve(A, rhs, cores=2) for A, rhs in problems]
+        results: list = [None] * len(problems)
+        errors: list = []
+
+        cfg = ServiceConfig(cores=2, backend="threaded", max_active=3, max_queue=16)
+        with FactorizationService(cfg) as svc:
+
+            def client(i):
+                try:
+                    results[i] = svc.solve(*problems[i])
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append((i, exc))
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(problems))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        assert not errors
+        for got, want in zip(results, refs):
+            assert np.array_equal(got, want)
+
+
+class TestOverload:
+    def _slow_cfg(self, **kw):
+        # Every panel task stalls, so each request takes >= stall_s.
+        plan = dict(stall_rate={"P": 1.0}, stall_s=0.25)
+        return ServiceConfig(
+            cores=2,
+            backend="threaded",
+            fault_plan_factory=lambda: FaultPlan(seed=0, **plan),
+            **kw,
+        )
+
+    def test_overload_sheds_fast_with_structured_rejection(self):
+        rng = make_rng(10)
+        A, rhs = make_problem(rng, n=64)
+        cfg = self._slow_cfg(max_active=1, max_queue=0)
+        outcomes: list = []
+        lock = threading.Lock()
+        with FactorizationService(cfg) as svc:
+
+            def client():
+                t0 = time.monotonic()
+                try:
+                    svc.solve(A, rhs)
+                    with lock:
+                        outcomes.append(("ok", time.monotonic() - t0))
+                except AdmissionRejected as exc:
+                    with lock:
+                        outcomes.append(("shed", time.monotonic() - t0, exc))
+
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            stats = svc.stats()["admission"]
+        kinds = [o[0] for o in outcomes]
+        assert len(outcomes) == 4  # nobody hung
+        assert "ok" in kinds and "shed" in kinds
+        assert stats["shed"] == kinds.count("shed")
+        for o in outcomes:
+            if o[0] == "shed":
+                assert o[1] < 0.1  # fast fail, no queue camping
+                assert o[2].retry_after_s >= 0.0
+                assert o[2].failure_kind == "admission"
+
+    def test_deadline_expires_while_queued(self):
+        rng = make_rng(11)
+        A, rhs = make_problem(rng, n=64)
+        cfg = self._slow_cfg(max_active=1, max_queue=4)
+        with FactorizationService(cfg) as svc:
+            blocker = threading.Thread(target=lambda: svc.solve(A, rhs))
+            blocker.start()
+            time.sleep(0.05)  # let the blocker occupy the only slot
+            with pytest.raises(DeadlineExceeded) as exc:
+                svc.solve(A, rhs, deadline_s=0.1)
+            blocker.join(timeout=120)
+        assert exc.value.stage == "queued"
+
+    def test_strict_deadline_post_run(self):
+        rng = make_rng(12)
+        A, rhs = make_problem(rng, n=48)
+        with FactorizationService(ServiceConfig(cores=2, backend="threaded")) as svc:
+            with pytest.raises(DeadlineExceeded) as exc:
+                svc.solve(A, rhs, deadline_s=1e-4)
+        # A result computed after its deadline is still a failure
+        # (strict semantics); which stage catches it depends on timing.
+        assert exc.value.stage in ("queued", "plan", "run", "post-run")
+        assert exc.value.failure_kind == "deadline"
+
+
+@fork_only
+class TestBreakerLifecycle:
+    def test_trip_degrade_recover(self):
+        rng = make_rng(13)
+        A, rhs = make_problem(rng, n=64)
+        ref = linalg_solve(A, rhs, cores=2)
+
+        calls = {"n": 0}
+
+        def factory():
+            # The first two engine runs stall until the task watchdog
+            # kills them; later runs (degraded + probe) are clean.
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                return FaultPlan(seed=0, stall_rate=1.0, stall_s=5.0)
+            return None
+
+        cfg = ServiceConfig(
+            cores=2,
+            backend="process",
+            task_timeout_s=0.1,
+            task_retries=0,
+            max_attempts=1,
+            breaker_threshold=2,
+            breaker_window_s=30.0,
+            breaker_open_s=0.2,
+            fault_plan_factory=factory,
+        )
+        with FactorizationService(cfg) as svc:
+            for _ in range(2):
+                with pytest.raises(RuntimeFailure) as exc:
+                    svc.solve(A, rhs)
+                assert exc.value.failure_kind in ("timeout", "stall", "worker_death")
+            assert svc.breaker.state == "open"
+
+            # Degraded request: served by the threaded fallback, still
+            # bitwise-correct (same plan, same schedule semantics).
+            x = svc.solve(A, rhs)
+            assert np.array_equal(x, ref)
+            assert svc.breaker.state == "open"
+
+            time.sleep(0.3)  # cool-down elapses -> next request probes
+            x = svc.solve(A, rhs)
+            assert np.array_equal(x, ref)
+            assert svc.breaker.state == "closed"
+
+            states = [(frm, to) for _, frm, to, _ in svc.breaker.transitions]
+            assert states == [
+                ("closed", "open"),
+                ("open", "half_open"),
+                ("half_open", "closed"),
+            ]
+
+
+class TestDrain:
+    def test_close_is_idempotent_and_rejects_new_work(self):
+        rng = make_rng(14)
+        A, rhs = make_problem(rng, n=48)
+        svc = FactorizationService(ServiceConfig(cores=2, backend="threaded"))
+        assert np.array_equal(svc.solve(A, rhs), linalg_solve(A, rhs, cores=2))
+        svc.close()
+        svc.close()  # idempotent
+        with pytest.raises(AdmissionRejected):
+            svc.solve(A, rhs)
+
+    def test_close_waits_for_inflight(self):
+        rng = make_rng(15)
+        A, rhs = make_problem(rng, n=64)
+        plan = dict(stall_rate={"getf2_panel": 1.0}, stall_s=0.2)
+        cfg = ServiceConfig(
+            cores=2,
+            backend="threaded",
+            fault_plan_factory=lambda: FaultPlan(seed=0, **plan),
+        )
+        svc = FactorizationService(cfg)
+        done = []
+        t = threading.Thread(target=lambda: done.append(svc.solve(A, rhs)))
+        t.start()
+        time.sleep(0.05)
+        svc.close()
+        t.join(timeout=120)
+        assert len(done) == 1 and done[0] is not None
+
+
+class TestLinalgEntry:
+    def test_solve_via_service_kwarg(self):
+        rng = make_rng(16)
+        A, rhs = make_problem(rng)
+        with FactorizationService(ServiceConfig(cores=2, backend="threaded")) as svc:
+            x = linalg_solve(A, rhs, service=svc)
+            assert np.array_equal(x, svc.solve(A, rhs))
+
+    def test_lstsq_via_service_kwarg(self):
+        rng = make_rng(17)
+        A = rng.standard_normal((96, 32))
+        rhs = rng.standard_normal(96)
+        with FactorizationService(ServiceConfig(cores=2, backend="threaded")) as svc:
+            x = linalg_lstsq(A, rhs, service=svc)
+            assert np.array_equal(x, svc.lstsq(A, rhs))
+
+    def test_incompatible_kwargs_rejected(self):
+        rng = make_rng(18)
+        A, rhs = make_problem(rng, n=48)
+        with pytest.raises(ValueError):
+            linalg_solve(A, rhs, deadline_s=1.0)  # deadline needs a service
+        with FactorizationService(ServiceConfig(cores=2, backend="threaded")) as svc:
+            with pytest.raises(ValueError):
+                linalg_solve(A, rhs, service=svc, executor="process")
+            with pytest.raises(ValueError):
+                linalg_lstsq(A, rhs[:48], service=svc, executor="process")
+
+
+class TestExports:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in (
+            "FactorizationService",
+            "ServiceConfig",
+            "AdmissionRejected",
+            "DeadlineExceeded",
+            "CircuitBreaker",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(cores=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_active=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(backend="gpu")
