@@ -48,7 +48,7 @@ class Table:
     def format(self, fmt: str = "{:8.2f}") -> str:
         widths = [max(10, len(c) + 2) for c in self.col_labels]
         head = f"{self.row_header:>10}" + "".join(
-            f"{c:>{w}}" for c, w in zip(self.col_labels, widths)
+            f"{c:>{w}}" for c, w in zip(self.col_labels, widths, strict=True)
         )
         lines = [self.title, "-" * len(head), head, "-" * len(head)]
         for i, rl in enumerate(self.row_labels):

@@ -226,7 +226,7 @@ def _merge_fn(
 
     def fn() -> None:
         d0 = dst.r0
-        for src, idx in zip(srcs, pair_indices):
+        for src, idx in zip(srcs, pair_indices, strict=True):
             s0 = src.r0
             Rtop = A[d0 : d0 + bk, c0:c1]
             Bsrc = A[s0 : s0 + bk, c0:c1]
@@ -353,7 +353,7 @@ def add_tsqr_tasks(
                 pairs = []
                 sync_entries = []
                 step_bufs = []
-                for src, idx in zip(srcs, pair_indices):
+                for src, idx in zip(srcs, pair_indices, strict=True):
                     vb_view, vb_spec = shm.alloc((bk, bk))
                     t_view, t_spec = shm.alloc((bk, bk))
                     pairs.append((dst.r0, src.r0, vb_spec, t_spec))

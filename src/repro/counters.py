@@ -30,6 +30,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.runtime.sync import make_lock
+
 __all__ = ["Counters", "counting", "current_counters", "add_flops", "add_sync", "add_words"]
 
 
@@ -61,7 +63,9 @@ class Counters:
     words: int = 0
     comparisons: int = 0
     kernel_calls: dict[str, int] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        default_factory=lambda: make_lock("counters.counters"), repr=False, compare=False
+    )
 
     def add_flops(self, n: int) -> None:
         with self._lock:
@@ -105,7 +109,7 @@ class Counters:
 # A single module-global slot, not thread-local: the threaded executor's
 # workers must all see the counter installed by the coordinating thread.
 _active: list[Counters] = []
-_active_lock = threading.Lock()
+_active_lock = make_lock("counters.active")
 
 
 def current_counters() -> Counters | None:

@@ -36,10 +36,11 @@ import json
 import os
 import struct
 import tempfile
-import threading
 import zlib
 
 import numpy as np
+
+from repro.runtime.sync import make_lock
 
 __all__ = [
     "CheckpointStore",
@@ -125,7 +126,7 @@ class MemoryStore(CheckpointStore):
     def __init__(self) -> None:
         self._arrays: dict[str, dict] = {}
         self._lines: dict[str, list[str]] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("checkpoint.memory")
 
     def save_arrays(self, key: str, arrays: dict) -> None:
         copied = {k: np.array(v, copy=True) for k, v in arrays.items()}
@@ -172,7 +173,7 @@ class FileStore(CheckpointStore):
         self.root = os.fspath(root)
         self.fsync = fsync
         os.makedirs(self.root, exist_ok=True)
-        self._lock = threading.Lock()
+        self._lock = make_lock("checkpoint.file")
 
     # Keys are hierarchical ("ckpt/panel/3"); flatten to one directory.
     @staticmethod

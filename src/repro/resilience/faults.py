@@ -25,12 +25,12 @@ array at a seeded location.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Mapping
 
 import numpy as np
 
 from repro.resilience.events import ResilienceEvent
+from repro.runtime.sync import make_lock
 
 __all__ = ["FaultPlan", "InjectedFault", "Rates"]
 
@@ -122,7 +122,7 @@ class FaultPlan:
         self.msg_corrupt_rate = float(msg_corrupt_rate)
         self.target = target
         self._budget = None if max_faults is None else int(max_faults)
-        self._lock = threading.Lock()
+        self._lock = make_lock("resilience.faults")
         self.injected: list[ResilienceEvent] = []
 
     # ------------------------------------------------------------------

@@ -17,9 +17,9 @@ crash or to skipping work that was not actually done.
 from __future__ import annotations
 
 import json
-import threading
 
 from repro.resilience.checkpoint import CheckpointStore, MemoryStore
+from repro.runtime.sync import make_lock
 
 __all__ = ["TaskJournal"]
 
@@ -38,7 +38,7 @@ class TaskJournal:
     def __init__(self, store: CheckpointStore | None = None, key: str = "journal") -> None:
         self.store = store if store is not None else MemoryStore()
         self.key = key
-        self._lock = threading.Lock()
+        self._lock = make_lock("resilience.journal")
         self._header: dict | None = None
         self._completed: set[str] = set()
         self._load()

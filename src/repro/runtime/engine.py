@@ -34,12 +34,15 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
-from repro.counters import add_sync, add_words
+# Module-style import: counters itself imports repro.runtime.sync, so a
+# from-import here would fail when counters is the first module loaded.
+from repro import counters as _counters
 from repro.resilience.events import ResilienceEvent
 from repro.resilience.faults import InjectedFault
 from repro.resilience.recovery import RuntimeFailure
 from repro.runtime.program import GraphProgram, as_program
 from repro.runtime.scheduler import ReadyQueue
+from repro.runtime.sync import make_condition, make_lock
 from repro.runtime.task import Task
 from repro.runtime.trace import TaskRecord, Trace
 
@@ -113,7 +116,7 @@ class StealingFrontier:
         for off in range(1, self.n_workers):
             victim = (core + self.seed + off) % self.n_workers
             if self._deques[victim]:
-                add_sync()
+                _counters.add_sync()
                 return self._deques[victim].popleft()
         return None
 
@@ -387,8 +390,8 @@ class ExecutionEngine:
     def _run_threads(self, program: GraphProgram, bk: _Bookkeeping, journal) -> Trace:
         graph = program.graph
         frontier = self.frontier if self.frontier is not None else CentralFrontier(self.policy)
-        lock = threading.Lock()
-        work_available = threading.Condition(lock)
+        lock = make_lock("engine.state")
+        work_available = make_condition("engine.state", lock)
         errors: list[BaseException] = []
         records: list[TaskRecord] = []
         events: list[ResilienceEvent] = []
@@ -417,7 +420,10 @@ class ExecutionEngine:
             while True:
                 with work_available:
                     while not frontier and not bk.finished and not errors:
-                        work_available.wait()
+                        # Timed wait + re-check: a missed notify (however
+                        # unlikely) then costs one poll period, never a
+                        # hung worker that only the watchdog could reap.
+                        work_available.wait(0.1)
                     if bk.finished or errors:
                         work_available.notify_all()
                         return
@@ -438,8 +444,8 @@ class ExecutionEngine:
                     # the task's input volume) per remote predecessor.
                     remote = sum(1 for p in placement if p != core)
                     if remote:
-                        add_sync(remote)
-                        add_words(int(task.cost.words))
+                        _counters.add_sync(remote)
+                        _counters.add_words(int(task.cost.words))
                 attempt = 0
                 while True:
                     start = time.perf_counter() - t0
@@ -750,8 +756,8 @@ class ExecutionEngine:
                 )
                 setup = mach.task_overhead_s(task.cost) + (sync_lat if remote else 0.0)
                 if remote:
-                    add_sync(remote)
-                    add_words(int(task.cost.words))
+                    _counters.add_sync(remote)
+                    _counters.add_words(int(task.cost.words))
                 failure = None
                 corrupt = False
                 if plan is not None:
@@ -841,7 +847,7 @@ class ExecutionEngine:
             in_work = [r for r in running if r.setup_left <= _EPS and r.work_left > 0.0]
             if in_work:
                 rates = mach.share_rates([(r.max_rate, r.demand) for r in in_work])
-                for r, rate in zip(in_work, rates):
+                for r, rate in zip(in_work, rates, strict=True):
                     r.rate = rate
             # Time to the next event (a phase change or a completion).
             dt = float("inf")

@@ -36,12 +36,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import threading
 
 from repro.resilience.faults import FaultPlan
 from repro.resilience.recovery import RetryPolicy, RuntimeFailure
 from repro.runtime.engine import CentralFrontier, ExecutionEngine
 from repro.runtime.graph import TaskGraph
+from repro.runtime.sync import make_lock, note_roundtrip
 from repro.runtime.trace import Trace
 
 __all__ = ["ProcessExecutor", "resolve_executor"]
@@ -111,7 +111,7 @@ class _WorkerPool:
         self._ctx = multiprocessing.get_context(start_method)
         self._procs: list = [None] * n_workers
         self._conns: list = [None] * n_workers
-        self._locks = [threading.Lock() for _ in range(n_workers)]
+        self._locks = [make_lock("process.core") for _ in range(n_workers)]
         self._closed = False
         self.respawn_governor = respawn_governor
         self.respawns = 0  # lifetime respawn count (post-death restarts)
@@ -165,6 +165,9 @@ class _WorkerPool:
             self._admit(core)
             conn = self._conns[core]
             try:
+                # The per-core lock is deliberately held across this
+                # pipe round-trip: it *is* the worker's serialization.
+                note_roundtrip()
                 conn.send(op)
                 while not conn.poll(_POLL_S):
                     if not self._procs[core].is_alive():

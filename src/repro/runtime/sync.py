@@ -1,0 +1,324 @@
+"""Named synchronization primitives with an opt-in lock witness.
+
+Every lock and condition variable in the runtime, service and
+resilience layers is created through this module's factories instead of
+bare ``threading`` constructors::
+
+    self._lock = make_lock("breaker")
+    self._cond = make_condition("admission")
+
+Two things fall out of that one convention:
+
+* **Static analyzability.**  Each primitive carries a string *name*
+  that is a literal at its creation site, so the lockcheck static pass
+  (:mod:`repro.verify.lockcheck`) can discover every lock in the
+  codebase from the AST alone and talk about them by stable names —
+  ``"engine.state"``, ``"process.core"`` — in its lock-order graph and
+  findings, instead of by ephemeral object ids.
+
+* **Dynamic witnessing.**  By default the factories return plain
+  ``threading`` primitives (zero overhead — the hot path is exactly the
+  stdlib's).  Under *sanitize mode* — :func:`witnessing` as a context
+  manager, or the ``REPRO_LOCK_SANITIZE=1`` environment variable — they
+  return :class:`TrackedLock` / :class:`TrackedCondition` wrappers that
+  record, into the active :class:`LockWitness`:
+
+  - the **actual acquisition-order edges** (lock *A* held while *B* is
+    acquired), cross-checked against the static lock-order graph by
+    :func:`repro.verify.lockcheck.cross_check`;
+  - per-lock **hold times** (max and total), so tests can assert no
+    lock is held anywhere near a watchdog threshold;
+  - locks held across **process-pool round-trips**
+    (:func:`note_roundtrip`, called by the worker pool around its pipe
+    send/receive cycle).
+
+The witness's own bookkeeping uses a raw ``threading.Lock`` — it is
+the one deliberate exception to the "everything through the factories"
+rule, because tracking the tracker would recurse.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Iterator
+
+__all__ = [
+    "LockWitness",
+    "TrackedCondition",
+    "TrackedLock",
+    "active_witness",
+    "make_condition",
+    "make_lock",
+    "make_rlock",
+    "note_roundtrip",
+    "witnessing",
+]
+
+
+class LockWitness:
+    """Recorder for actual lock behaviour during a sanitized run.
+
+    Attributes
+    ----------
+    edges:
+        ``{(held_name, acquired_name): count}`` — every ordered pair
+        observed when a thread acquired one lock while holding another.
+    acquired:
+        ``{name: count}`` — total successful acquisitions per lock.
+    hold_max_s, hold_total_s:
+        Per-lock hold-time statistics (seconds).
+    roundtrip_held:
+        ``{name}`` — locks that were held by the calling thread at a
+        process-pool round-trip marker (see :func:`note_roundtrip`).
+    """
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()  # raw on purpose: never tracked
+        self._tls = threading.local()
+        self.edges: dict[tuple[str, str], int] = {}
+        self.acquired: dict[str, int] = {}
+        self.hold_max_s: dict[str, float] = {}
+        self.hold_total_s: dict[str, float] = {}
+        self.roundtrip_held: set[str] = set()
+
+    # -- per-thread held stack -----------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def held_names(self) -> tuple[str, ...]:
+        """Locks the *calling thread* currently holds, in order."""
+        return tuple(self._stack())
+
+    # -- events reported by the tracked primitives ---------------------
+    def on_acquired(self, name: str) -> None:
+        stack = self._stack()
+        with self._mu:
+            self.acquired[name] = self.acquired.get(name, 0) + 1
+            for held in stack:
+                if held != name:  # re-entry (RLock) is not an ordering edge
+                    key = (held, name)
+                    self.edges[key] = self.edges.get(key, 0) + 1
+        stack.append(name)
+
+    def on_released(self, name: str, held_s: float) -> None:
+        stack = self._stack()
+        # Release order may not be LIFO (rare but legal): remove the
+        # innermost matching entry.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                break
+        with self._mu:
+            self.hold_max_s[name] = max(self.hold_max_s.get(name, 0.0), held_s)
+            self.hold_total_s[name] = self.hold_total_s.get(name, 0.0) + held_s
+
+    def on_roundtrip(self) -> None:
+        stack = self._stack()
+        if stack:
+            with self._mu:
+                self.roundtrip_held.update(stack)
+
+    # -- summaries ------------------------------------------------------
+    def edge_names(self) -> set[tuple[str, str]]:
+        with self._mu:
+            return set(self.edges)
+
+    def snapshot(self) -> dict:
+        with self._mu:
+            return {
+                "locks": sorted(self.acquired),
+                "acquisitions": dict(self.acquired),
+                "edges": {f"{a} -> {b}": n for (a, b), n in sorted(self.edges.items())},
+                "hold_max_s": dict(self.hold_max_s),
+                "roundtrip_held": sorted(self.roundtrip_held),
+            }
+
+
+class TrackedLock:
+    """A ``threading.Lock`` (or RLock) that reports to a :class:`LockWitness`.
+
+    Supports the full lock protocol (``acquire``/``release``, context
+    manager, ``locked``) so it drops in anywhere the plain primitive
+    was used, including as the underlying lock of a ``Condition``.
+    """
+
+    def __init__(self, name: str, witness: LockWitness, *, reentrant: bool = False) -> None:
+        self.name = name
+        self.witness = witness
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+        self._tls = threading.local()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self.witness.on_acquired(self.name)
+            self._tls.t0 = time.monotonic()
+        return ok
+
+    def release(self) -> None:
+        t0 = getattr(self._tls, "t0", None)
+        held = 0.0 if t0 is None else time.monotonic() - t0
+        self._inner.release()
+        self.witness.on_released(self.name, held)
+
+    def locked(self) -> bool:
+        inner = self._inner
+        if hasattr(inner, "locked"):
+            return inner.locked()
+        # RLock has no locked(); approximate via a non-blocking probe.
+        if inner.acquire(blocking=False):
+            inner.release()
+            return False
+        return True
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    # Condition(lock=...) calls these when waiting: the mutex really is
+    # released for the duration of the wait, so report it (ending the
+    # current hold interval) and re-report the reacquisition.
+    def _release_save(self):
+        t0 = getattr(self._tls, "t0", None)
+        held = 0.0 if t0 is None else time.monotonic() - t0
+        inner = self._inner
+        if hasattr(inner, "_release_save"):
+            state = inner._release_save()
+        else:
+            inner.release()
+            state = None
+        self.witness.on_released(self.name, held)
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        inner = self._inner
+        if hasattr(inner, "_acquire_restore"):
+            inner._acquire_restore(state)
+        else:
+            inner.acquire()
+        self.witness.on_acquired(self.name)
+        self._tls.t0 = time.monotonic()
+
+    def _is_owned(self) -> bool:
+        inner = self._inner
+        if hasattr(inner, "_is_owned"):
+            return inner._is_owned()
+        return inner.locked()
+
+
+class TrackedCondition(threading.Condition):
+    """A ``threading.Condition`` over a :class:`TrackedLock`.
+
+    The condition's wait/notify protocol is the stdlib's; only the
+    underlying mutex is tracked, so acquisition edges and hold times
+    attribute to the condition's lock name.  ``wait()`` correctly
+    reports the lock released for the duration of the wait (via the
+    tracked lock's ``_release_save``/``_acquire_restore`` hooks).
+    """
+
+    def __init__(self, name: str, witness: LockWitness, lock: TrackedLock | None = None) -> None:
+        self.name = name
+        if lock is None:
+            lock = TrackedLock(name, witness)
+        super().__init__(lock)
+
+
+# ----------------------------------------------------------------------
+# Sanitize-mode switch and factories
+# ----------------------------------------------------------------------
+_witness: LockWitness | None = None
+_witness_mu = threading.Lock()  # raw on purpose: guards the switch itself
+
+
+def active_witness() -> LockWitness | None:
+    """The witness new primitives will report to, or ``None``."""
+    return _witness
+
+
+def _set_witness(w: LockWitness | None) -> None:
+    global _witness
+    with _witness_mu:
+        _witness = w
+
+
+class witnessing:
+    """Context manager enabling sanitize mode for primitives created inside.
+
+    >>> from repro.runtime import sync
+    >>> with sync.witnessing() as w:
+    ...     svc = build_service()   # every make_lock() is now tracked
+    ...     run_load(svc)
+    >>> sorted(w.edge_names())      # doctest: +SKIP
+
+    Only primitives *created* while the context is active are tracked;
+    objects built before it keep their plain stdlib locks.  Nesting is
+    not supported (the inner context replaces the outer witness).
+    """
+
+    def __init__(self, witness: LockWitness | None = None) -> None:
+        self.witness = witness if witness is not None else LockWitness()
+
+    def __enter__(self) -> LockWitness:
+        _set_witness(self.witness)
+        return self.witness
+
+    def __exit__(self, *exc: object) -> None:
+        _set_witness(None)
+
+
+def make_lock(name: str) -> threading.Lock:
+    """A mutex named *name*: plain ``threading.Lock`` unless sanitizing."""
+    w = _witness
+    if w is not None:
+        return TrackedLock(name, w)  # type: ignore[return-value]
+    return threading.Lock()
+
+
+def make_rlock(name: str) -> threading.RLock:
+    """A reentrant mutex named *name* (tracked under sanitize mode)."""
+    w = _witness
+    if w is not None:
+        return TrackedLock(name, w, reentrant=True)  # type: ignore[return-value]
+    return threading.RLock()
+
+
+def make_condition(name: str, lock: threading.Lock | None = None) -> threading.Condition:
+    """A condition variable named *name* over *lock* (or a fresh mutex).
+
+    Passing an existing lock aliases the condition to that lock's name
+    for ordering purposes — the pattern used by the execution engine,
+    where one mutex guards the state and the condition signals on it.
+    """
+    w = _witness
+    if w is not None:
+        if lock is not None and not isinstance(lock, TrackedLock):
+            # A plain lock under sanitize mode would blind the witness
+            # to every acquisition through the condition; wrap it only
+            # if it was created outside the witnessing window.
+            lock = TrackedLock(name, w)
+        return TrackedCondition(name, w, lock)  # type: ignore[arg-type]
+    return threading.Condition(lock)
+
+
+def note_roundtrip() -> None:
+    """Mark a process-pool round-trip (pipe send/receive cycle).
+
+    Under sanitize mode, records which locks the calling thread holds
+    at this point — a lock held across an IPC round-trip couples its
+    critical section to another process's scheduling, which the
+    lockcheck witness pass reports unless explicitly suppressed.
+    """
+    w = _witness
+    if w is not None:
+        w.on_roundtrip()
+
+
+if os.environ.get("REPRO_LOCK_SANITIZE") == "1":  # pragma: no cover
+    _set_witness(LockWitness())

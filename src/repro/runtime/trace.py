@@ -123,7 +123,7 @@ class Trace:
             per_core.setdefault(r.core, []).append(r)
         for core, recs in per_core.items():
             recs = sorted(recs, key=lambda r: r.start)
-            for a, b in zip(recs, recs[1:]):
+            for a, b in zip(recs, recs[1:], strict=False):
                 if b.start < a.end - eps:
                     raise AssertionError(
                         f"core {core}: tasks {a.name!r} and {b.name!r} overlap "

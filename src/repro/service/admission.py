@@ -17,10 +17,10 @@ the request's deadline and by queue shutdown, surfacing as
 
 from __future__ import annotations
 
-import threading
 import time
 
 from repro.resilience.recovery import RuntimeFailure
+from repro.runtime.sync import make_condition
 
 __all__ = ["AdmissionQueue", "AdmissionRejected", "DeadlineExceeded"]
 
@@ -95,7 +95,7 @@ class AdmissionQueue:
             raise ValueError("max_queue must be >= 0")
         self.max_active = max_active
         self.max_queue = max_queue
-        self._cond = threading.Condition()
+        self._cond = make_condition("service.admission")
         self._active = 0
         self._waiting = 0
         self._closed = False

@@ -27,9 +27,10 @@ primary was not involved).
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
+
+from repro.runtime.sync import make_lock
 
 __all__ = ["CircuitBreaker", "TRIP_KINDS"]
 
@@ -72,7 +73,7 @@ class CircuitBreaker:
         self.open_s = float(open_s)
         self.probe_successes = probe_successes
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.breaker")
         self._state = "closed"
         self._failures: deque[float] = deque()  # infra-failure timestamps
         self._opened_at = 0.0

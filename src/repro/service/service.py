@@ -47,6 +47,7 @@ from repro.resilience.health import (
 )
 from repro.resilience.recovery import RetryPolicy, RuntimeFailure
 from repro.runtime.engine import CentralFrontier, ExecutionEngine
+from repro.runtime.sync import make_condition, make_lock
 from repro.service.admission import AdmissionQueue, AdmissionRejected, DeadlineExceeded
 from repro.service.breaker import CircuitBreaker
 from repro.service.supervisor import PoolSupervisor, RespawnGovernor
@@ -261,14 +262,14 @@ class FactorizationService:
         # Plan cache: key -> list of _CompiledPlan | None ("building"
         # placeholder); exclusivity via _busy.  One condition covers
         # checkouts, check-ins and the reaper's deadline kicks.
-        self._plan_cond = threading.Condition()
+        self._plan_cond = make_condition("service.plan")
         self._plans: dict[tuple, list] = {}
         self._busy: set[int] = set()  # id(plan) of checked-out plans
         self.plan_hits = 0
         self.plan_builds = 0
         self.plan_ephemeral = 0
         self._inflight: dict[int, _Request] = {}
-        self._inflight_lock = threading.Lock()
+        self._inflight_lock = make_lock("service.inflight")
         self._rid = itertools.count()
         self._closed = False
         self._reaper_stop = threading.Event()

@@ -26,6 +26,8 @@ import threading
 import time
 from collections import deque
 
+from repro.runtime.sync import make_lock
+
 __all__ = ["PoolSupervisor", "RespawnGovernor"]
 
 
@@ -43,7 +45,7 @@ class RespawnGovernor:
         self.max_respawns = max_respawns
         self.window_s = float(window_s)
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.respawn")
         self._grants: deque[float] = deque()
         self.granted = 0
         self.denied = 0

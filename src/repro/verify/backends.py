@@ -84,7 +84,7 @@ def check_backend_equivalence(
         alt = caqr(A.copy(), b=b, tr=tr, tree=tree, executor="process")
         findings += _compare(name, "R factor", ref.R, alt.R)
         findings += _compare(name, "packed matrix", ref.packed, alt.packed)
-        for k, (s_ref, s_alt) in enumerate(zip(ref.panels, alt.panels)):
+        for k, (s_ref, s_alt) in enumerate(zip(ref.panels, alt.panels, strict=True)):
             a_ref, a_alt = s_ref.to_arrays(), s_alt.to_arrays()
             if set(a_ref) != set(a_alt):
                 findings.append(

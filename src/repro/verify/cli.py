@@ -38,6 +38,7 @@ from repro.verify.backends import check_backend_equivalence
 from repro.verify.equivalence import check_stream_equivalence
 from repro.verify.findings import Report
 from repro.verify.lint import lint_graph
+from repro.verify.lockcheck import lock_self_test, run_lockcheck
 from repro.verify.mutate import drop_edge, pick_droppable_edge
 from repro.verify.races import check_races
 from repro.verify.sanitize import fuzz_schedules, sanitize_footprints
@@ -51,8 +52,13 @@ def _random_matrix(m: int, n: int, seed: int = _MATRIX_SEED) -> np.ndarray:
     return np.random.default_rng(seed).standard_normal((m, n))
 
 
-def _calu_builder(m: int, n: int, b: int, tr: int, tree: TreeKind, stream: bool = False):
-    def build():
+_Builder = Callable[[], "tuple[object, Callable[[], list[np.ndarray]] | None]"]
+
+
+def _calu_builder(
+    m: int, n: int, b: int, tr: int, tree: TreeKind, stream: bool = False
+) -> _Builder:
+    def build() -> tuple[object, Callable[[], list[np.ndarray]]]:
         A = _random_matrix(m, n)
         layout = BlockLayout(m, n, b)
         make = calu_program if stream else build_calu_graph
@@ -70,8 +76,10 @@ def _calu_builder(m: int, n: int, b: int, tr: int, tree: TreeKind, stream: bool 
     return build
 
 
-def _caqr_builder(m: int, n: int, b: int, tr: int, tree: TreeKind, stream: bool = False):
-    def build():
+def _caqr_builder(
+    m: int, n: int, b: int, tr: int, tree: TreeKind, stream: bool = False
+) -> _Builder:
+    def build() -> tuple[object, Callable[[], list[np.ndarray]]]:
         A = _random_matrix(m, n)
         layout = BlockLayout(m, n, b)
         make = caqr_program if stream else build_caqr_graph
@@ -107,7 +115,13 @@ class Target:
     """
 
     def __init__(
-        self, name: str, build, *, block: int | None = None, stream=None, backend=None
+        self,
+        name: str,
+        build: _Builder,
+        *,
+        block: int | None = None,
+        stream: _Builder | None = None,
+        backend: tuple | None = None,
     ) -> None:
         self.name = name
         self.build = build
@@ -357,7 +371,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--self-test",
         action="store_true",
-        help="verify the verifier via edge-drop and footprint mutations",
+        help="verify the verifier via edge-drop, footprint and lock mutations",
+    )
+    parser.add_argument(
+        "--locks",
+        action="store_true",
+        help="run only the lockcheck static pass over the runtime/service code",
     )
     parser.add_argument("--seed", type=int, default=0, help="seed for fuzzing/mutation")
     parser.add_argument(
@@ -366,7 +385,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.self_test:
-        return self_test(seed=args.seed, verbose=args.verbose)
+        rc_graph = self_test(seed=args.seed, verbose=args.verbose)
+        rc_locks = lock_self_test(verbose=args.verbose)
+        return 1 if rc_graph or rc_locks else 0
+
+    if args.locks:
+        return _run_lockcheck_pass(args.verbose)
 
     failed = 0
     for target in default_targets():
@@ -377,8 +401,25 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {finding}")
         if not report.ok:
             failed += 1
+    # The default sweep also lock-checks the executor stack itself.
+    failed += _run_lockcheck_pass(args.verbose)
     if failed:
-        print(f"FAILED: {failed} graph(s) with gating findings")
+        print(f"FAILED: {failed} target(s) with gating findings")
         return 1
-    print("all graphs race-free and lint-clean")
+    print("all graphs race-free and lint-clean; executor lock discipline ok")
     return 0
+
+
+def _run_lockcheck_pass(verbose: bool) -> int:
+    """Print the lockcheck report; returns 1 when it gates, else 0."""
+    report, analysis = run_lockcheck()
+    print(report.summary())
+    for finding in report.findings if verbose else report.gating:
+        print(f"  {finding}")
+    if verbose:
+        print("  lock-order graph:")
+        for (a, b), ws in sorted(analysis.edges.items()):
+            print(f"    {a} -> {b}  ({ws[0].describe()})")
+        for entry, locks in sorted(analysis.entry_locks.items()):
+            print(f"  entry {entry}: {', '.join(locks) or '(no locks)'}")
+    return 0 if report.ok else 1

@@ -25,7 +25,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.runtime.graph import TaskGraph
+from repro.runtime.graph import Task, TaskGraph
 from repro.runtime.program import GraphProgram
 from repro.verify.findings import Finding
 
@@ -34,7 +34,7 @@ __all__ = ["check_stream_equivalence", "compare_graphs", "compare_results"]
 _RULE = "stream-eager-mismatch"
 
 
-def _task_diffs(ts, te) -> list[str]:
+def _task_diffs(ts: Task, te: Task) -> list[str]:
     """Human-readable field divergences between one streamed/eager task pair."""
     diffs: list[str] = []
     if ts.name != te.name:
@@ -95,7 +95,7 @@ def compare_graphs(
         )
         return findings
     reported = 0
-    for ts, te in zip(streamed.tasks, eager.tasks):
+    for ts, te in zip(streamed.tasks, eager.tasks, strict=True):
         diffs = _task_diffs(ts, te)
         if streamed.preds[ts.tid] != eager.preds[te.tid]:
             diffs.append(
@@ -144,7 +144,7 @@ def compare_results(
                 f"{len(eager)}; the collectors disagree",
             )
         ]
-    for idx, (s, e) in enumerate(zip(streamed, eager)):
+    for idx, (s, e) in enumerate(zip(streamed, eager, strict=True)):
         if s.shape != e.shape or not np.array_equal(s, e):
             findings.append(
                 Finding(

@@ -1,0 +1,621 @@
+"""Lock-order graph construction and lint-rule evaluation.
+
+Consumes the per-function summaries from
+:mod:`repro.verify.lockcheck.static` and produces:
+
+* an interprocedural **lock-order graph** — an edge ``A -> B`` means
+  some code path acquires lock *B* while holding lock *A*, either in
+  one function or through a chain of calls (acquisitions are propagated
+  over a name-resolved call graph to a fixpoint, with the discovery
+  chain kept as the witness path);
+* **findings** for the rule catalogue (see ``docs/VERIFICATION.md``):
+
+  ========  ========  ====================================================
+  rule      severity  meaning
+  ========  ========  ====================================================
+  LK001     error     lock-order cycle (potential deadlock), with a
+                      witness path naming file:line pairs per edge; also
+                      re-acquisition of a non-reentrant lock (self-edge)
+  LK002     warning   blocking call (pipe ``recv``/``send``, untimed
+                      ``join``/``poll``/``get``, ``sleep``, untimed
+                      ``Condition.wait``) while holding a lock
+  LK003     warning   untimed ``Condition.wait()`` — a missed notify
+                      hangs the waiter forever
+  LK004     warning   explicit ``acquire()`` with no ``release()`` in a
+                      ``finally`` block of the same function
+  LK005     warning   lock-coverage inconsistency: an attribute written
+                      both under and outside the same class-owned lock
+                      (RacerD-style)
+  LK006     warning   bare ``threading.Lock/RLock/Condition`` not created
+                      through the ``repro.runtime.sync`` factories
+  LK007     error     sync-factory call whose name is not a string
+                      literal (defeats the analysis)
+  ========  ========  ====================================================
+
+Every finding's message begins with a stable ``[scope]`` prefix (no
+line numbers) so suppression patterns survive unrelated edits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.verify.findings import Finding
+from repro.verify.lockcheck.static import (
+    CallEvent,
+    ModuleIndex,
+    Site,
+    index_package,
+    index_sources,
+)
+
+__all__ = ["AnalysisResult", "EdgeWitness", "analyze", "analyze_sources"]
+
+
+def _short(qual: str) -> str:
+    """Human name: ``runtime/engine.py:C._run.<locals>.worker`` -> ``engine.py:C._run.worker``."""
+    path, _, func = qual.partition(":")
+    return f"{path.rsplit('/', 1)[-1]}:{func.replace('.<locals>.', '.')}"
+
+
+@dataclass(frozen=True)
+class EdgeWitness:
+    """One observation supporting a lock-order edge ``src -> dst``."""
+
+    func: str  # short qualname where src was held
+    held_site: Site  # where src was acquired
+    acq_site: Site  # where dst is (ultimately) acquired
+    via: tuple[str, ...] = ()  # call chain, outermost first
+
+    def describe(self) -> str:
+        chain = f" via {' -> '.join(self.via)}" if self.via else ""
+        return f"{self.func} holds at {self.held_site}, acquires at {self.acq_site}{chain}"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the static pass knows about the analyzed tree."""
+
+    index: ModuleIndex
+    edges: dict[tuple[str, str], list[EdgeWitness]] = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+    entry_locks: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    cycles: list[tuple[str, ...]] = field(default_factory=list)
+
+    def edge_names(self) -> set[tuple[str, str]]:
+        return set(self.edges)
+
+    def to_json(self) -> dict:
+        return {
+            "locks": {
+                name: {"kind": d.kind, "site": str(d.site), "owner": d.owner}
+                for name, d in sorted(self.index.locks.items())
+            },
+            "edges": {
+                f"{a} -> {b}": [w.describe() for w in ws[:3]]
+                for (a, b), ws in sorted(self.edges.items())
+            },
+            "entry_points": {k: list(v) for k, v in sorted(self.entry_locks.items())},
+            "cycles": [list(c) for c in self.cycles],
+            "findings": [
+                {"rule": f.rule, "severity": f.severity, "message": f.message}
+                for f in self.findings
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Call resolution and acquisition propagation
+# ----------------------------------------------------------------------
+#: Method names too stdlib-common to resolve by name alone: an untyped
+#: receiver calling one of these is far more likely a dict/pipe/file/
+#: process than a project object, and by-name resolution would wire the
+#: call graph through unrelated classes.  Typed receivers (constructor
+#: inference) always resolve, so project calls through these names are
+#: still tracked whenever the object's origin is visible.
+_COMMON_METHODS = frozenset(
+    {
+        "add", "append", "clear", "close", "complete", "copy", "count",
+        "destroy", "discard", "extend", "flush", "get", "index", "insert",
+        "is_set", "items", "join", "keys", "kill", "pop", "popleft", "put",
+        "read", "recv", "remove", "reset", "result", "run", "send", "set",
+        "sort", "start", "submit", "terminate", "update", "values", "wait",
+        "write",
+    }
+)
+
+
+class _CallGraph:
+    def __init__(self, index: ModuleIndex) -> None:
+        self.index = index
+
+    def resolve(self, caller: str, call: CallEvent) -> list[str]:
+        idx = self.index
+        if call.kind == "self" and call.cls is not None:
+            hit = idx.class_methods.get((call.cls, call.name))
+            if hit is not None:
+                return [hit]
+            return []
+        if call.kind == "method":
+            if call.types:
+                # Typed receiver: exactly the candidate classes' methods.
+                return [
+                    q
+                    for t in call.types
+                    if (q := idx.class_methods.get((t, call.name))) is not None
+                ]
+            if call.name in _COMMON_METHODS:
+                # Stdlib-common name on an untyped receiver: resolve
+                # only via name affinity — the receiver identifier names
+                # the class family ('frontier' -> CentralFrontier /
+                # StealingFrontier, 'store' -> MemoryStore / FileStore).
+                hint = call.recv.lstrip("_").lower()
+                if len(hint) >= 4:
+                    return [
+                        q
+                        for t in sorted(idx.classes)
+                        if hint in t.lower()
+                        and (q := idx.class_methods.get((t, call.name))) is not None
+                    ]
+                return []
+            # Untyped receiver, project-specific name: every project
+            # method of that name, plus module-level functions
+            # (module-qualified calls look like attribute access).
+            out = list(idx.methods_by_name.get(call.name, ()))
+            out += idx.funcs_by_name.get(call.name, ())
+            return out
+        # Bare-name call: module-level functions anywhere, plus nested
+        # closures visible from the caller's scope.
+        out = list(idx.funcs_by_name.get(call.name, ()))
+        for qual in idx.nested_funcs.get(call.name, ()):
+            parent = qual.rsplit(".<locals>.", 1)[0]
+            if caller == parent or caller.startswith(parent + ".<locals>."):
+                out.append(qual)
+        return out
+
+
+#: acqstar[qual][lock] = (acquire site, call chain as short-name steps)
+_AcqStar = dict[str, dict[str, tuple[Site, tuple[str, ...]]]]
+
+
+def _propagate_acquires(index: ModuleIndex, cg: _CallGraph) -> _AcqStar:
+    acqstar: _AcqStar = {}
+    for qual, summary in index.functions.items():
+        direct: dict[str, tuple[Site, tuple[str, ...]]] = {}
+        for acq in summary.acquires:
+            direct.setdefault(acq.lock, (acq.site, ()))
+        acqstar[qual] = direct
+
+    callers: dict[str, list[tuple[str, CallEvent]]] = {}
+    for qual, summary in index.functions.items():
+        for call in summary.calls:
+            for callee in cg.resolve(qual, call):
+                callers.setdefault(callee, []).append((qual, call))
+
+    work = deque(index.functions)
+    while work:
+        callee = work.popleft()
+        callee_acq = acqstar.get(callee)
+        if not callee_acq:
+            continue
+        for caller, call in callers.get(callee, ()):
+            mine = acqstar[caller]
+            changed = False
+            for lock, (site, chain) in callee_acq.items():
+                if lock not in mine:
+                    step = f"{_short(callee)} ({call.site})"
+                    mine[lock] = (site, (step,) + chain)
+                    changed = True
+            if changed:
+                work.append(caller)
+    return acqstar
+
+
+def _propagate_blocking(index: ModuleIndex, cg: _CallGraph) -> dict[str, tuple]:
+    """qual -> (what, site, chain) for functions that may block."""
+    blockstar: dict[str, tuple] = {}
+    for qual, summary in index.functions.items():
+        if summary.blocking:
+            ev = summary.blocking[0]
+            blockstar[qual] = (ev.what, ev.site, ())
+        for wait in summary.waits:
+            if not wait.timed and qual not in blockstar:
+                blockstar[qual] = (f"{wait.lock}.wait() [untimed]", wait.site, ())
+    callers: dict[str, list[tuple[str, CallEvent]]] = {}
+    for qual, summary in index.functions.items():
+        for call in summary.calls:
+            for callee in cg.resolve(qual, call):
+                callers.setdefault(callee, []).append((qual, call))
+    work = deque(blockstar)
+    while work:
+        callee = work.popleft()
+        what, site, chain = blockstar[callee]
+        for caller, call in callers.get(callee, ()):
+            if caller not in blockstar:
+                step = f"{_short(callee)} ({call.site})"
+                blockstar[caller] = (what, site, (step,) + chain)
+                work.append(caller)
+    return blockstar
+
+
+# ----------------------------------------------------------------------
+# Edge construction
+# ----------------------------------------------------------------------
+def _build_edges(
+    index: ModuleIndex, cg: _CallGraph, acqstar: _AcqStar
+) -> dict[tuple[str, str], list[EdgeWitness]]:
+    edges: dict[tuple[str, str], list[EdgeWitness]] = {}
+
+    def add(src: str, dst: str, witness: EdgeWitness) -> None:
+        edges.setdefault((src, dst), []).append(witness)
+
+    for qual, summary in index.functions.items():
+        short = _short(qual)
+        for acq in summary.acquires:
+            for held, hline in acq.held:
+                if held == acq.lock:
+                    continue  # intra-with re-entry handled as self-edge below
+                add(held, acq.lock, EdgeWitness(short, Site(summary.path, hline), acq.site))
+        for call in summary.calls:
+            if not call.held:
+                continue
+            for callee in cg.resolve(qual, call):
+                for lock, (site, chain) in acqstar.get(callee, {}).items():
+                    step = f"{_short(callee)} ({call.site})"
+                    for held, hline in call.held:
+                        add(
+                            held,
+                            lock,
+                            EdgeWitness(
+                                short, Site(summary.path, hline), site, (step,) + chain
+                            ),
+                        )
+    return edges
+
+
+# ----------------------------------------------------------------------
+# Cycle detection (Tarjan SCC + shortest cycle per SCC)
+# ----------------------------------------------------------------------
+def _sccs(adj: dict[str, set[str]]) -> list[list[str]]:
+    order: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(adj.get(root, ()))))]
+        order[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in order:
+                    order[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(adj.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], order[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == order[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                out.append(scc)
+
+    for node in sorted(adj):
+        if node not in order:
+            strongconnect(node)
+    return out
+
+
+def _shortest_cycle(adj: dict[str, set[str]], scc: set[str]) -> tuple[str, ...]:
+    start = min(scc)
+    # BFS from start back to start within the SCC.
+    parent: dict[str, str] = {}
+    q = deque([start])
+    seen = {start}
+    while q:
+        node = q.popleft()
+        for nxt in sorted(adj.get(node, ())):
+            if nxt == start:
+                path = [node]
+                while path[-1] != start:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return tuple(path) + (start,)
+            if nxt in scc and nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = node
+                q.append(nxt)
+    return (start, start)  # pragma: no cover - SCC guarantees a cycle
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def _rule_cycles(result: AnalysisResult) -> None:
+    index = result.index
+    adj: dict[str, set[str]] = {}
+    for (a, b), _ws in result.edges.items():
+        if a != b:
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set())
+    for scc in _sccs(adj):
+        if len(scc) < 2:
+            continue
+        cycle = _shortest_cycle(adj, set(scc))
+        result.cycles.append(cycle)
+        lines = []
+        for i in range(len(cycle) - 1):
+            w = result.edges[(cycle[i], cycle[i + 1])][0]
+            lines.append(f"  {cycle[i]} -> {cycle[i + 1]}: {w.describe()}")
+        result.findings.append(
+            Finding(
+                rule="LK001",
+                severity="error", graph="lockcheck",
+                message=(
+                    f"[cycle {' -> '.join(cycle)}] lock-order cycle "
+                    f"(potential deadlock):\n" + "\n".join(lines)
+                ),
+            )
+        )
+    # Self-edges on non-reentrant locks.
+    for (a, b), ws in sorted(result.edges.items()):
+        if a != b:
+            continue
+        ldef = index.locks.get(a)
+        if ldef is not None and ldef.kind == "rlock":
+            continue
+        result.findings.append(
+            Finding(
+                rule="LK001",
+                severity="error", graph="lockcheck",
+                message=(
+                    f"[self {a}] non-reentrant lock may be re-acquired while "
+                    f"held: {ws[0].describe()}"
+                ),
+            )
+        )
+
+
+def _rule_blocking(result: AnalysisResult, cg: _CallGraph, blockstar: dict) -> None:
+    index = result.index
+    seen: set[tuple[str, str, str]] = set()
+    for qual, summary in index.functions.items():
+        short = _short(qual)
+        for ev in summary.blocking:
+            held = ",".join(sorted({h for h, _ in ev.held}))
+            key = (short, held, ev.what)
+            if key in seen:
+                continue
+            seen.add(key)
+            result.findings.append(
+                Finding(
+                    rule="LK002",
+                    severity="warning", graph="lockcheck",
+                    message=(
+                        f"[{short} holding {held}] blocking call {ev.what} "
+                        f"at {ev.site} while holding a lock"
+                    ),
+                )
+            )
+        for call in summary.calls:
+            if not call.held:
+                continue
+            for callee in cg.resolve(qual, call):
+                hit = blockstar.get(callee)
+                if hit is None:
+                    continue
+                what, site, chain = hit
+                held = ",".join(sorted({h for h, _ in call.held}))
+                key = (short, held, f"{callee}:{what}")
+                if key in seen:
+                    continue
+                seen.add(key)
+                via = " -> ".join((f"{_short(callee)} ({call.site})",) + chain)
+                result.findings.append(
+                    Finding(
+                        rule="LK002",
+                        severity="warning", graph="lockcheck",
+                        message=(
+                            f"[{short} holding {held}] call chain may block "
+                            f"({what} at {site}) while holding a lock; via {via}"
+                        ),
+                    )
+                )
+
+
+def _rule_untimed_wait(result: AnalysisResult) -> None:
+    for qual, summary in result.index.functions.items():
+        for wait in summary.waits:
+            if wait.timed:
+                continue
+            result.findings.append(
+                Finding(
+                    rule="LK003",
+                    severity="warning", graph="lockcheck",
+                    message=(
+                        f"[{_short(qual)} wait {wait.lock}] untimed Condition.wait() "
+                        f"at {wait.site}; a missed notify hangs this thread forever "
+                        f"(use wait(timeout) in a re-check loop)"
+                    ),
+                )
+            )
+
+
+def _rule_acquire_discipline(result: AnalysisResult) -> None:
+    for qual, summary in result.index.functions.items():
+        for acq in summary.explicit_acquires:
+            if acq.lock in summary.releases_in_finally:
+                continue
+            result.findings.append(
+                Finding(
+                    rule="LK004",
+                    severity="warning", graph="lockcheck",
+                    message=(
+                        f"[{_short(qual)} acquire {acq.lock}] explicit acquire() at "
+                        f"{acq.site} with no release() in a finally block of the "
+                        f"same function (prefer 'with' or try/finally)"
+                    ),
+                )
+            )
+
+
+def _rule_lock_coverage(result: AnalysisResult, cg: _CallGraph) -> None:
+    index = result.index
+    # Held-context for private methods: the intersection of class-lock
+    # held-sets over every in-project call site (a private method only
+    # called with the lock held is effectively "under" that lock).
+    context: dict[str, set[str]] = {}
+    callsites: dict[str, list[tuple[str, set[str]]]] = {}
+    for qual, summary in index.functions.items():
+        for call in summary.calls:
+            held = {h for h, _ in call.held}
+            for callee in cg.resolve(qual, call):
+                callsites.setdefault(callee, []).append((qual, held))
+    for qual, summary in index.functions.items():
+        if summary.cls is None or not summary.name.startswith("_"):
+            continue
+        sites = callsites.get(qual)
+        if sites:
+            ctx = set(sites[0][1])
+            for _, s in sites[1:]:
+                ctx &= s
+            context[qual] = ctx
+
+    # Functions reachable only from constructors run before the object
+    # is shared; their unlocked writes are initialization, not races.
+    init_only: set[str] = {q for q, s in index.functions.items() if s.is_init}
+    changed = True
+    while changed:
+        changed = False
+        for qual in index.functions:
+            if qual in init_only:
+                continue
+            sites = callsites.get(qual)
+            if sites and all(c in init_only for c, _ in sites):
+                init_only.add(qual)
+                changed = True
+
+    for cls, lock_attrs in sorted(index.class_locks.items()):
+        own_locks = set(lock_attrs.values())
+        writes: dict[str, list[tuple[Site, set[str], str]]] = {}
+        for qual, summary in index.functions.items():
+            if summary.cls != cls or summary.is_init or qual in init_only:
+                continue
+            ctx = context.get(qual, set())
+            for w in summary.writes:
+                if w.attr in lock_attrs:
+                    continue
+                eff = ({h for h, _ in w.held} | ctx) & own_locks
+                writes.setdefault(w.attr, []).append((w.site, eff, _short(qual)))
+        for attr, entries in sorted(writes.items()):
+            locked = [e for e in entries if e[1]]
+            unlocked = [e for e in entries if not e[1]]
+            if not locked or not unlocked:
+                continue
+            lock = sorted(locked[0][1])[0]
+            lsite, _, lfunc = locked[0]
+            usite, _, ufunc = unlocked[0]
+            result.findings.append(
+                Finding(
+                    rule="LK005",
+                    severity="warning", graph="lockcheck",
+                    message=(
+                        f"[{cls}.{attr} vs {lock}] attribute written under the lock "
+                        f"({lfunc} at {lsite}) and outside it ({ufunc} at {usite}) — "
+                        f"lock-coverage inconsistency (possible data race)"
+                    ),
+                )
+            )
+
+
+def _rule_hygiene(result: AnalysisResult) -> None:
+    for site in result.index.bare_primitives:
+        result.findings.append(
+            Finding(
+                rule="LK006",
+                severity="warning", graph="lockcheck",
+                message=(
+                    f"[bare {site.path.rsplit('/', 1)[-1]}] bare threading primitive at "
+                    f"{site}; create locks via repro.runtime.sync factories so they "
+                    f"are named, analyzable, and witnessable"
+                ),
+            )
+        )
+    for site in result.index.nonliteral_names:
+        result.findings.append(
+            Finding(
+                rule="LK007",
+                severity="error", graph="lockcheck",
+                message=(
+                    f"[nonliteral {site.path.rsplit('/', 1)[-1]}] sync-factory call at "
+                    f"{site} whose lock name is not a string literal; lockcheck "
+                    f"cannot track this lock"
+                ),
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _entry_locks(index: ModuleIndex, acqstar: _AcqStar) -> dict[str, tuple[str, ...]]:
+    out: dict[str, tuple[str, ...]] = {}
+    by_name: dict[str, list[str]] = {}
+    for qual, summary in index.functions.items():
+        by_name.setdefault(summary.name, []).append(qual)
+    for name, _site in index.entry_points:
+        for qual in by_name.get(name, ()):
+            locks = tuple(sorted(acqstar.get(qual, {})))
+            out[_short(qual)] = locks
+    return out
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def analyze(root: str | None = None) -> AnalysisResult:
+    """Run the full static pass over the repro package (or *root*)."""
+    return _analyze(index_package(root))
+
+
+def analyze_sources(sources: dict[str, str]) -> AnalysisResult:
+    """Run the full static pass over in-memory ``{path: source}`` pairs."""
+    return _analyze(index_sources(sources))
+
+
+def _analyze(index: ModuleIndex) -> AnalysisResult:
+    cg = _CallGraph(index)
+    acqstar = _propagate_acquires(index, cg)
+    blockstar = _propagate_blocking(index, cg)
+    result = AnalysisResult(index=index)
+    result.edges = _build_edges(index, cg, acqstar)
+    result.entry_locks = _entry_locks(index, acqstar)
+    _rule_cycles(result)
+    _rule_blocking(result, cg, blockstar)
+    _rule_untimed_wait(result)
+    _rule_acquire_discipline(result)
+    _rule_lock_coverage(result, cg)
+    _rule_hygiene(result)
+    result.findings.sort(key=lambda f: (f.rule, f.message))
+    return result

@@ -1,0 +1,158 @@
+"""Mutation self-test: verify that lockcheck detects what it claims to.
+
+In the spirit of the verify suite's edge-drop self-test (PR 3), this
+injects two synthetic defects into a pristine fixture and requires the
+static pass to name *exactly* them, by site:
+
+1. a **lock-order inversion** — a method acquiring ``fixture.audit``
+   then ``fixture.accounts`` while the rest of the class orders them
+   the other way — must be reported as precisely that LK001 cycle,
+   with the injected line in the witness path;
+2. an **unlocked write** — a public method writing an attribute that
+   every other method guards — must be reported as an LK005
+   lock-coverage inconsistency at precisely the injected line.
+
+A third leg exercises the dynamic machinery without threads: a
+hand-built witness containing an acquisition order the static graph
+does not predict must produce an LK101 analysis-gap finding.
+
+The pristine fixture must analyze clean — a self-test that only checks
+detection would pass for an analyzer that flags everything.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.sync import LockWitness
+from repro.verify.lockcheck.graph import analyze_sources
+from repro.verify.lockcheck.witness import cross_check
+
+__all__ = ["lock_self_test"]
+
+_FIXTURE = '''\
+from repro.runtime.sync import make_lock
+
+
+class Transfer:
+    def __init__(self):
+        self._accounts = make_lock("fixture.accounts")
+        self._audit = make_lock("fixture.audit")
+        self.balance = 0
+        self.trail = 0
+
+    def deposit(self, amount):
+        with self._accounts:
+            self.balance += amount
+            with self._audit:
+                self.trail += 1
+
+    def withdraw(self, amount):
+        with self._accounts:
+            self.balance -= amount
+            with self._audit:
+                self.trail += 1
+'''
+
+_INVERSION = '''\
+
+    def audit_sweep(self):
+        with self._audit:
+            with self._accounts:
+                self.balance += 0
+'''
+
+_UNLOCKED_WRITE = '''\
+
+    def reset(self):
+        self.balance = 0
+'''
+
+
+def _line_of(source: str, needle: str) -> int:
+    for i, line in enumerate(source.splitlines(), start=1):
+        if needle in line.strip():
+            return i
+    raise AssertionError(f"fixture lost its marker line {needle!r}")
+
+
+def lock_self_test(verbose: bool = False) -> int:
+    """Run the lockcheck mutation self-test; returns a process exit code."""
+    failures = 0
+
+    pristine = analyze_sources({"fixture.py": _FIXTURE})
+    if pristine.findings:
+        print("lock self-test FAIL: pristine fixture is not clean:")
+        for f in pristine.findings:
+            print(f"  {f}")
+        failures += 1
+
+    # 1. Lock-order inversion -> exactly one LK001 cycle naming both locks
+    #    and the injected acquisition site.
+    mutant_src = _FIXTURE + _INVERSION
+    # The injected acquisition is the 'with self._accounts:' *after* the
+    # audit_sweep header (deposit/withdraw have their own).
+    offset = _line_of(mutant_src, "def audit_sweep")
+    inner = next(
+        i
+        for i, line in enumerate(mutant_src.splitlines(), start=1)
+        if i > offset and "with self._accounts:" in line
+    )
+    site = f"fixture_mut.py:{inner}"
+    mutant = analyze_sources({"fixture_mut.py": mutant_src})
+    cycles = [f for f in mutant.findings if f.rule == "LK001"]
+    hit = [
+        f
+        for f in cycles
+        if "fixture.accounts" in f.message and "fixture.audit" in f.message and site in f.message
+    ]
+    if len(cycles) == 1 and hit and len(mutant.findings) == 1:
+        if verbose:
+            print(f"lock self-test: injected inversion at {site}; reported:\n  {hit[0]}")
+        print(f"lock self-test ok: lock-order inversion detected as LK001 at {site}")
+    else:
+        print(
+            f"lock self-test FAIL: injected inversion at {site}; expected exactly "
+            f"one LK001 naming it, got {[str(f) for f in mutant.findings]}"
+        )
+        failures += 1
+
+    # 2. Unlocked write -> exactly one LK005 naming attr and injected site
+    #    (the write after the reset header — __init__ has its own).
+    mutant_src = _FIXTURE + _UNLOCKED_WRITE
+    offset = _line_of(mutant_src, "def reset")
+    inner = next(
+        i
+        for i, line in enumerate(mutant_src.splitlines(), start=1)
+        if i > offset and "self.balance = 0" in line
+    )
+    site = f"fixture_mut.py:{inner}"
+    mutant = analyze_sources({"fixture_mut.py": mutant_src})
+    races = [f for f in mutant.findings if f.rule == "LK005"]
+    hit = [f for f in races if "Transfer.balance" in f.message and site in f.message]
+    if len(races) == 1 and hit and len(mutant.findings) == 1:
+        if verbose:
+            print(f"lock self-test: injected unlocked write at {site}; reported:\n  {hit[0]}")
+        print(f"lock self-test ok: unlocked write detected as LK005 at {site}")
+    else:
+        print(
+            f"lock self-test FAIL: injected unlocked write at {site}; expected "
+            f"exactly one LK005 naming it, got {[str(f) for f in mutant.findings]}"
+        )
+        failures += 1
+
+    # 3. Witness gap: an observed order the static graph does not predict.
+    witness = LockWitness()
+    witness.on_acquired("fixture.audit")
+    witness.on_acquired("fixture.accounts")  # audit -> accounts: not in pristine graph
+    witness.on_released("fixture.accounts", 0.0)
+    witness.on_released("fixture.audit", 0.0)
+    gaps = [f for f in cross_check(witness, pristine) if f.rule == "LK101"]
+    if len(gaps) == 1 and "fixture.audit -> fixture.accounts" in gaps[0].message:
+        print("lock self-test ok: unpredicted witnessed edge detected as LK101")
+    else:
+        print(
+            f"lock self-test FAIL: expected one LK101 for the unpredicted edge, "
+            f"got {[str(f) for f in gaps]}"
+        )
+        failures += 1
+
+    return 1 if failures else 0

@@ -1,0 +1,122 @@
+"""Reviewed suppression file for known-intentional lockcheck findings.
+
+Format of ``suppressions.txt`` (one suppression per line)::
+
+    RULE | message-substring | reason the exception is intentional
+
+* ``RULE`` must equal the finding's rule id (``LK001`` … ``LK102``).
+* ``message-substring`` is matched with plain ``in`` against the
+  finding's message.  Finding messages begin with a stable ``[scope]``
+  prefix that carries no line numbers, so patterns written against it
+  survive unrelated edits; patterns containing ``:<line>`` are rejected
+  at load time for that reason.
+* The reason is mandatory — a suppression nobody can justify is a bug.
+
+Blank lines and ``#`` comments are ignored.  Unused suppressions are
+reported (as info findings) so the file cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.verify.findings import Finding
+
+__all__ = ["Suppression", "SuppressionFile", "apply_suppressions", "load_suppressions"]
+
+DEFAULT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "suppressions.txt")
+
+_LINE_NUMBER = re.compile(r"\.py:\d")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    rule: str
+    pattern: str
+    reason: str
+    lineno: int
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.rule == self.rule and self.pattern in finding.message
+
+
+@dataclass
+class SuppressionFile:
+    path: str
+    entries: list[Suppression] = field(default_factory=list)
+
+
+def load_suppressions(path: str | None = None) -> SuppressionFile:
+    """Parse the suppression file; raises ``ValueError`` on bad lines."""
+    path = path or DEFAULT_PATH
+    out = SuppressionFile(path)
+    if not os.path.exists(path):
+        return out
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = [p.strip() for p in line.split("|")]
+            if len(parts) != 3 or not all(parts):
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'RULE | pattern | reason', got {line!r}"
+                )
+            rule, pattern, reason = parts
+            if not re.fullmatch(r"LK\d{3}", rule):
+                raise ValueError(f"{path}:{lineno}: bad rule id {rule!r}")
+            if _LINE_NUMBER.search(pattern):
+                raise ValueError(
+                    f"{path}:{lineno}: pattern {pattern!r} pins a line number; "
+                    f"match on the stable [scope] prefix instead"
+                )
+            out.entries.append(Suppression(rule, pattern, reason, lineno))
+    return out
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: SuppressionFile
+) -> tuple[list[Finding], list[Finding]]:
+    """``(kept, notes)``: unsuppressed findings plus bookkeeping notes.
+
+    Each suppressed finding becomes an ``info`` note naming the
+    suppression that absorbed it; each suppression that matched nothing
+    becomes an ``info`` note flagging it as stale (so dead entries are
+    visible in review, without failing the gate).
+    """
+    kept: list[Finding] = []
+    notes: list[Finding] = []
+    used: set[int] = set()
+    for finding in findings:
+        hit = next((s for s in suppressions.entries if s.matches(finding)), None)
+        if hit is None:
+            kept.append(finding)
+            continue
+        used.add(hit.lineno)
+        notes.append(
+            Finding(
+                rule=finding.rule,
+                severity="info",
+                graph=finding.graph,
+                message=(
+                    f"suppressed ({suppressions.path.rsplit(os.sep, 1)[-1]}:{hit.lineno}: "
+                    f"{hit.reason}): {finding.message.splitlines()[0]}"
+                ),
+            )
+        )
+    for s in suppressions.entries:
+        if s.lineno not in used:
+            notes.append(
+                Finding(
+                    rule="LK000",
+                    severity="info",
+                    graph="lockcheck",
+                    message=(
+                        f"stale suppression at {suppressions.path}:{s.lineno} "
+                        f"({s.rule} | {s.pattern}) matched no finding"
+                    ),
+                )
+            )
+    return kept, notes

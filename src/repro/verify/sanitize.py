@@ -45,7 +45,7 @@ def _changed_blocks(before: np.ndarray, after: np.ndarray, b: int) -> set[tuple[
     both_nan = np.isnan(before) & np.isnan(after)
     diff &= ~both_nan
     rows, cols = np.nonzero(diff)
-    return {(int(i) // b, int(j) // b) for i, j in zip(rows, cols)}
+    return {(int(i) // b, int(j) // b) for i, j in zip(rows, cols, strict=True)}
 
 
 def sanitize_footprints(graph: TaskGraph, A: np.ndarray, b: int) -> list[Finding]:
@@ -158,7 +158,7 @@ def fuzz_schedules(
                 )
             )
             continue
-        for idx, (got, ref) in enumerate(zip(outputs, reference)):
+        for idx, (got, ref) in enumerate(zip(outputs, reference, strict=True)):
             if got.shape != ref.shape or got.tobytes() != ref.tobytes():
                 where = "shape mismatch" if got.shape != ref.shape else "bitwise mismatch"
                 findings.append(

@@ -12,6 +12,7 @@ forever.
 from __future__ import annotations
 
 import faulthandler
+import functools
 import os
 
 import numpy as np
@@ -54,6 +55,52 @@ def assert_lu_ok(A0: np.ndarray, lu: np.ndarray, piv: np.ndarray, tol: float = 1
     perm = piv_to_perm(piv, m)
     err = np.linalg.norm(A0[perm] - L @ U) / max(np.linalg.norm(A0), 1e-300)
     assert err < tol, f"LU backward error {err:.3e} exceeds {tol:.1e}"
+
+
+@functools.lru_cache(maxsize=1)
+def _static_lock_analysis():
+    from repro.verify.lockcheck import analyze
+
+    return analyze()
+
+
+def assert_lock_sanity(
+    witness,
+    *,
+    allowed_roundtrip: tuple[str, ...] = (),
+    hold_bound_s: float = 1.0,
+    ipc_hold_bound_s: float = 30.0,
+    min_coverage: float = 0.9,
+) -> None:
+    """Cross-check a dynamic lock witness against the static lockcheck graph.
+
+    Asserts the run produced no acquisition-order edges outside the
+    static graph (LK101), no locks held across process-pool round-trips
+    beyond *allowed_roundtrip* (LK102), no lock held anywhere near a
+    watchdog threshold (IPC-spanning locks in *allowed_roundtrip* get
+    the larger bound, since they legally cover a worker round-trip and
+    its kill/respawn recovery), and that at least *min_coverage* of the
+    static lock-order edges the workload exercised were actually
+    witnessed.
+    """
+    from repro.verify.lockcheck import coverage, cross_check
+
+    result = _static_lock_analysis()
+    findings = cross_check(witness, result, allowed_roundtrip=allowed_roundtrip)
+    assert not findings, "lock witness vs static graph:\n" + "\n".join(
+        f"  {f}" for f in findings
+    )
+    for name, held in witness.hold_max_s.items():
+        bound = ipc_hold_bound_s if name in allowed_roundtrip else hold_bound_s
+        assert held <= bound, (
+            f"lock {name!r} held {held:.3f}s (bound {bound}s): long enough "
+            f"to trip a watchdog or starve the run"
+        )
+    frac, exercised, missed = coverage(witness, result)
+    assert frac >= min_coverage, (
+        f"witnessed only {frac:.0%} of the {len(exercised)} exercised "
+        f"static lock-order edges; missed: {sorted(missed)}"
+    )
 
 
 def assert_qr_ok(A0: np.ndarray, Q: np.ndarray, R: np.ndarray, tol: float = 1e-12) -> None:

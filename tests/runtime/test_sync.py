@@ -1,0 +1,179 @@
+"""The named-primitive factories and the dynamic lock witness."""
+
+import threading
+import time
+
+from repro.runtime import sync
+from repro.runtime.sync import (
+    LockWitness,
+    TrackedCondition,
+    TrackedLock,
+    make_condition,
+    make_lock,
+    make_rlock,
+    note_roundtrip,
+    witnessing,
+)
+
+
+class TestFactoriesPlain:
+    """Outside sanitize mode the factories must be zero-overhead stdlib."""
+
+    def test_make_lock_is_stdlib(self):
+        lock = make_lock("t.plain")
+        assert isinstance(lock, type(threading.Lock()))
+
+    def test_make_rlock_is_stdlib(self):
+        lock = make_rlock("t.plain")
+        assert isinstance(lock, type(threading.RLock()))
+
+    def test_make_condition_is_stdlib(self):
+        cond = make_condition("t.plain")
+        assert type(cond) is threading.Condition
+
+    def test_note_roundtrip_is_noop(self):
+        note_roundtrip()  # must not raise with no witness active
+
+    def test_no_witness_active_by_default(self):
+        assert sync.active_witness() is None
+
+
+class TestWitnessingContext:
+    def test_primitives_created_inside_are_tracked(self):
+        with witnessing() as w:
+            lock = make_lock("t.in")
+            rlock = make_rlock("t.rin")
+            cond = make_condition("t.cin")
+        assert isinstance(lock, TrackedLock)
+        assert isinstance(rlock, TrackedLock)
+        assert isinstance(cond, TrackedCondition)
+        assert lock.witness is w
+
+    def test_context_exit_restores_plain_mode(self):
+        with witnessing():
+            pass
+        assert sync.active_witness() is None
+        assert isinstance(make_lock("t.after"), type(threading.Lock()))
+
+    def test_condition_aliases_tracked_lock_name(self):
+        with witnessing() as w:
+            lock = make_lock("t.state")
+            cond = make_condition("t.state", lock)
+        with cond:
+            pass
+        assert w.acquired == {"t.state": 1}
+
+
+class TestWitnessRecording:
+    def test_acquisition_counts_and_hold_times(self):
+        with witnessing() as w:
+            lock = make_lock("t.a")
+        with lock:
+            time.sleep(0.01)
+        with lock:
+            pass
+        assert w.acquired["t.a"] == 2
+        assert w.hold_max_s["t.a"] >= 0.01
+        assert w.hold_total_s["t.a"] >= w.hold_max_s["t.a"]
+
+    def test_nested_acquisition_records_edge(self):
+        with witnessing() as w:
+            a = make_lock("t.a")
+            b = make_lock("t.b")
+        with a:
+            with b:
+                pass
+        assert w.edge_names() == {("t.a", "t.b")}
+        assert w.edges[("t.a", "t.b")] == 1
+
+    def test_sequential_acquisition_records_no_edge(self):
+        with witnessing() as w:
+            a = make_lock("t.a")
+            b = make_lock("t.b")
+        with a:
+            pass
+        with b:
+            pass
+        assert w.edge_names() == set()
+
+    def test_rlock_reentry_is_not_an_edge(self):
+        with witnessing() as w:
+            a = make_rlock("t.a")
+        with a:
+            with a:
+                pass
+        assert w.edge_names() == set()
+        assert w.acquired["t.a"] == 2
+
+    def test_held_stack_is_per_thread(self):
+        with witnessing() as w:
+            a = make_lock("t.a")
+            b = make_lock("t.b")
+        edges_seen = []
+
+        def other():
+            with b:
+                edges_seen.append(w.edge_names())
+
+        with a:
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        # The other thread held nothing when it took b: no cross-thread edge.
+        assert edges_seen == [set()]
+
+    def test_condition_wait_releases_the_lock(self):
+        with witnessing() as w:
+            cond = make_condition("t.cond")
+        ready = threading.Event()
+
+        def waiter():
+            with cond:
+                ready.set()
+                cond.wait(5)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        assert ready.wait(5)
+        # The waiter is inside cond.wait(); the mutex must be free for us.
+        with cond:
+            cond.notify()
+        t.join(5)
+        assert not t.is_alive()
+        # One acquisition from each thread plus the waiter's reacquisition.
+        assert w.acquired["t.cond"] == 3
+
+    def test_roundtrip_marker_records_held_locks(self):
+        with witnessing() as w:
+            a = make_lock("t.a")
+            b = make_lock("t.b")
+            note_roundtrip()
+            assert w.roundtrip_held == set()
+            with a:
+                note_roundtrip()
+            with b:
+                pass
+        assert w.roundtrip_held == {"t.a"}
+
+    def test_snapshot_is_json_shaped(self):
+        with witnessing() as w:
+            a = make_lock("t.a")
+            b = make_lock("t.b")
+        with a:
+            with b:
+                pass
+        snap = w.snapshot()
+        assert snap["locks"] == ["t.a", "t.b"]
+        assert snap["edges"] == {"t.a -> t.b": 1}
+        assert set(snap["hold_max_s"]) == {"t.a", "t.b"}
+
+    def test_tracked_lock_protocol(self):
+        w = LockWitness()
+        lock = TrackedLock("t.a", w)
+        assert not lock.locked()
+        assert lock.acquire(timeout=1)
+        assert lock.locked()
+        lock.release()
+        assert not lock.locked()
+        assert lock.acquire(blocking=False)
+        lock.release()

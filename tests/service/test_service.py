@@ -14,7 +14,8 @@ import numpy as np
 import pytest
 
 from repro.core.calu import calu
-from tests.conftest import make_rng
+from repro.runtime import sync
+from tests.conftest import assert_lock_sanity, make_rng
 from repro.core.trees import TreeKind
 from repro.linalg import lstsq as linalg_lstsq
 from repro.linalg import solve as linalg_solve
@@ -142,7 +143,9 @@ class TestConcurrency:
         errors: list = []
 
         cfg = ServiceConfig(cores=2, backend="threaded", max_active=3, max_queue=16)
-        with FactorizationService(cfg) as svc:
+        # Run under the lock-witness sanitizer: six client threads over a
+        # shared pool is the densest contention the threaded backend sees.
+        with sync.witnessing() as w, FactorizationService(cfg) as svc:
 
             def client(i):
                 try:
@@ -161,6 +164,7 @@ class TestConcurrency:
         assert not errors
         for got, want in zip(results, refs):
             assert np.array_equal(got, want)
+        assert_lock_sanity(w)
 
 
 class TestOverload:

@@ -26,8 +26,9 @@ import pytest
 from repro.linalg import solve as linalg_solve
 from repro.resilience.faults import FaultPlan
 from repro.resilience.recovery import RuntimeFailure
+from repro.runtime import sync
 from repro.service import FactorizationService, ServiceConfig
-from tests.conftest import make_rng
+from tests.conftest import assert_lock_sanity, make_rng
 
 fork_only = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
@@ -71,6 +72,36 @@ def _soak(svc, problems, n_clients, n_requests, join_timeout):
     return outcomes, hung
 
 
+def _exercise_respawn_path(svc, problems):
+    """Deterministically drive the dead-worker heal under the core lock.
+
+    The random kill storm may never land a kill exactly where a dead
+    worker is *discovered* while its per-core lock is held, yet that is
+    the one runtime nesting (``process.core -> service.respawn``) the
+    static lock-order graph predicts for this backend — so exercise it
+    synchronously: spawn, kill, and heal one worker via the supervisor's
+    own path, which takes the core lock and then consults the governor.
+    """
+    A, rhs, _ = problems[0]
+    svc.solve(A, rhs)  # make sure at least one worker is spawned
+    pool = svc._executor.pool
+    live = [i for i, p in enumerate(pool._procs) if p is not None and p.is_alive()]
+    core = live[0]
+    os.kill(pool._procs[core].pid, 9)
+    deadline = time.monotonic() + 10
+    while pool._procs[core].is_alive() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    # The heal may be throttled while the kill storm's respawn window
+    # drains, and the supervisor's own heartbeat may beat us to it —
+    # either path performs the same core-lock -> governor nesting.
+    healed = False
+    while not healed and time.monotonic() < deadline:
+        healed = bool(pool.ensure_alive(core) or pool.worker_alive(core))
+        if not healed:
+            time.sleep(0.05)
+    assert healed, "freshly killed worker was never healed"
+
+
 def _assert_contract(outcomes, hung, expected_total):
     assert not hung, "chaos soak hung: requests neither returned nor failed"
     assert len(outcomes) == expected_total
@@ -100,11 +131,15 @@ class TestChaosThreaded:
             max_attempts=3,
             fault_plan_factory=factory,
         )
-        with FactorizationService(cfg) as svc:
-            outcomes, hung = _soak(
-                svc, problems, n_clients=4, n_requests=3, join_timeout=240
-            )
+        # The soak doubles as a lock-witness run: every primitive the
+        # service and its engines create inside the window is tracked.
+        with sync.witnessing() as w:
+            with FactorizationService(cfg) as svc:
+                outcomes, hung = _soak(
+                    svc, problems, n_clients=4, n_requests=3, join_timeout=240
+                )
         _assert_contract(outcomes, hung, expected_total=12)
+        assert_lock_sanity(w)
 
 
 @fork_only
@@ -125,7 +160,7 @@ class TestChaosProcess:
             breaker_open_s=0.2,
             fault_plan_factory=factory,
         )
-        with FactorizationService(cfg) as svc:
+        with sync.witnessing() as witness, FactorizationService(cfg) as svc:
             stop = threading.Event()
 
             def killer():
@@ -152,8 +187,14 @@ class TestChaosProcess:
             finally:
                 stop.set()
                 kt.join(timeout=10)
+            _exercise_respawn_path(svc, problems)
             stats = svc.stats()
         _assert_contract(outcomes, hung, expected_total=n_clients * n_requests)
+        # Holding the per-core pipe lock across the worker round-trip is
+        # this backend's design (see the lockcheck suppression file); any
+        # other lock spanning IPC, or any acquisition order the static
+        # graph does not predict, is a real finding.
+        assert_lock_sanity(witness, allowed_roundtrip=("process.core",))
         return outcomes, stats
 
     def test_worker_kill_soak(self):
