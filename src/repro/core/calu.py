@@ -659,6 +659,7 @@ def calu(
     checkpoint=None,
     abft: bool = False,
     tournament_recompute: bool = True,
+    fuse: int | None = None,
 ) -> CALUFactorization:
     """Factor ``A`` with multithreaded CALU (Algorithm 1).
 
@@ -670,7 +671,11 @@ def calu(
     tree : reduction tree shape.
     executor : a runtime executor; defaults to a
         :class:`~repro.runtime.threaded.ThreadedExecutor` with
-        ``min(tr, 4)`` workers.
+        ``min(tr, 4)`` workers.  The string ``"auto"`` asks the
+        machine-model autotuner (:mod:`repro.machine.autotune`) to pick
+        the backend *and* the fusion granularity for this (shape, b,
+        Tr); the decision is recorded as an ``autotune`` event on the
+        returned trace.
     lookahead : scheduling look-ahead depth (paper: 1); ``None`` uses
         the process default
         (:func:`repro.core.priorities.lookahead_depth`).  Also bounds
@@ -698,6 +703,11 @@ def calu(
     tournament_recompute : allow a corrupted TSLU tournament to be
         replayed from clean panel data (identical pivots; recorded in
         ``recovered_panels``) before degrading to partial pivoting.
+    fuse : fuse up to this many tasks into one super-task before
+        execution (:func:`repro.runtime.fuse.fuse_program`) — one
+        scheduler dispatch / worker pipe round-trip per super-task.
+        ``None`` or ``1`` disables fusion except under
+        ``executor="auto"``, where the autotuner picks it.
 
     Returns a :class:`CALUFactorization`.
     """
@@ -713,6 +723,14 @@ def calu(
     layout = BlockLayout(m, n, b)
     from repro.runtime.process import ProcessExecutor, resolve_executor
 
+    autotune_decision = None
+    if isinstance(executor, str) and executor == "auto":
+        from repro.machine.autotune import autotune
+
+        autotune_decision = autotune("lu", m, n, b=b, tr=tr, tree=tree)
+        executor = autotune_decision.backend
+        if fuse is None:
+            fuse = autotune_decision.max_ops
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
     executor, owned_executor = resolve_executor(executor, min(tr, 4))
@@ -741,6 +759,13 @@ def calu(
         recompute=tournament_recompute,
         shm=shm,
     )
+    if fuse is not None and fuse > 1:
+        from repro.runtime.fuse import fuse_program
+
+        # Per-window rewrite: journal resume below still addresses
+        # windows by panel iteration, and checkpoint (X) tasks keep
+        # their identity inside the fused program.
+        program = fuse_program(program, max_ops=fuse)
     # Engine-backed executors consume the streaming program directly,
     # keeping graph construction off the critical path; a caller-made
     # (duck-typed) executor gets the materialized eager graph, which is
@@ -798,6 +823,8 @@ def calu(
         trace = (
             executor.run(source, journal=journal) if journal is not None else executor.run(source)
         )
+        if autotune_decision is not None:
+            trace.events.append(autotune_decision.event())
         if guards and not np.isfinite(A).all():
             # Last line of defense: a corruption that landed outside every
             # guarded block (e.g. in an already-finished region) must still
@@ -814,6 +841,11 @@ def calu(
             bk = layout.panel_width(K)
             assert ws.piv is not None
             piv[k0 : k0 + bk] = ws.piv[:bk] + k0
+        if checkpoint is not None:
+            # Drain the async snapshot writer so a completed run leaves
+            # its full chain on disk (and any write error surfaces here
+            # rather than being dropped with the daemon thread).
+            checkpoint.flush()
         if use_shm:
             A = np.array(A)  # copy the factors off the arena
     finally:

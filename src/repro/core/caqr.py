@@ -466,6 +466,7 @@ def caqr(
     check_finite: bool = True,
     guards: bool = True,
     checkpoint=None,
+    fuse: int | None = None,
 ) -> CAQRFactorization:
     """Factor ``A`` with multithreaded CAQR (Algorithm 2).
 
@@ -474,6 +475,9 @@ def caqr(
     *checkpoint* arms the checkpoint/restart path: snapshots also carry
     the implicit-Q tree factors, so a resumed run returns a fully
     usable factorization with **bitwise-identical** ``R`` and ``Q``.
+    ``executor="auto"`` and *fuse* behave as in :func:`~repro.core.calu.calu`:
+    the autotuner picks backend and fusion granularity, and fused
+    super-tasks dispatch with one scheduler slot / pipe round-trip each.
     """
     A = validate_matrix(A, "A", require_finite=check_finite)
     dtype = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
@@ -485,6 +489,14 @@ def caqr(
     layout = BlockLayout(m, n, b)
     from repro.runtime.process import ProcessExecutor, resolve_executor
 
+    autotune_decision = None
+    if isinstance(executor, str) and executor == "auto":
+        from repro.machine.autotune import autotune
+
+        autotune_decision = autotune("qr", m, n, b=b, tr=tr, tree=tree)
+        executor = autotune_decision.backend
+        if fuse is None:
+            fuse = autotune_decision.max_ops
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
     executor, owned_executor = resolve_executor(executor, min(tr, 4))
@@ -509,6 +521,11 @@ def caqr(
         checkpoint=checkpoint,
         shm=shm,
     )
+    if fuse is not None and fuse > 1:
+        from repro.runtime.fuse import fuse_program
+
+        # Per-window rewrite; checkpoint (X) tasks keep their identity.
+        program = fuse_program(program, max_ops=fuse)
     # Stream through engine-backed executors; materialize for
     # caller-made (duck-typed) ones — the historical contract.
     source = program if supports_streaming(executor) else program.materialize()
@@ -566,12 +583,18 @@ def caqr(
         trace = (
             executor.run(source, journal=journal) if journal is not None else executor.run(source)
         )
+        if autotune_decision is not None:
+            trace.events.append(autotune_decision.event())
         if guards and not np.isfinite(A).all():
             raise RuntimeFailure(
                 "CAQR produced non-finite factors (undetected corruption)",
                 failure_kind="health",
                 trace=trace,
             )
+        if checkpoint is not None:
+            # Drain the async snapshot writer so a completed run leaves
+            # its full chain on disk (and any write error surfaces here).
+            checkpoint.flush()
         if use_shm:
             # Copy the packed factors and implicit-Q stores off the
             # arena before teardown.

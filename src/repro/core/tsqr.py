@@ -485,12 +485,16 @@ def tsqr(
     leaf_kernel: str = "geqr3",
     overwrite: bool = False,
     check_finite: bool = True,
+    fuse: int | None = None,
 ) -> TSQRFactorization:
     """QR-factor one tall-skinny panel with a reduction tree.
 
     The paper's standalone TSQR (Figure 8): up to 5.3x faster than
     ``MKL_dgeqrf`` on ``10^5 x 200``.  Default tree is the height-1
     (flat) tree the paper found best on shared memory.
+    ``executor="auto"`` and *fuse* behave as in
+    :func:`~repro.core.calu.calu` (a standalone panel autotunes as a
+    one-panel QR).
     """
     A = validate_matrix(A, "A", require_finite=check_finite)
     dtype = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
@@ -500,6 +504,13 @@ def tsqr(
         raise ValueError(f"tsqr requires a tall panel (m >= n), got {A.shape}")
     from repro.runtime.process import ProcessExecutor, resolve_executor
 
+    if isinstance(executor, str) and executor == "auto":
+        from repro.machine.autotune import autotune
+
+        decision = autotune("qr", m, n, b=n, tr=tr, tree=tree)
+        executor = decision.backend
+        if fuse is None:
+            fuse = decision.max_ops
     if executor is None:
         executor = ThreadedExecutor(min(tr, 4))
     executor, owned = resolve_executor(executor, min(tr, 4))
@@ -515,6 +526,10 @@ def tsqr(
         shm = ShmBinding(arena, A)
     try:
         program, store = tsqr_program(A, tr, tree, leaf_kernel=leaf_kernel, shm=shm)
+        if fuse is not None and fuse > 1:
+            from repro.runtime.fuse import fuse_program
+
+            program = fuse_program(program, max_ops=fuse)
         source = program if supports_streaming(executor) else program.materialize()
         executor.run(source)
         R = np.triu(A[:n, :]).copy()

@@ -32,7 +32,15 @@ from typing import Iterator
 
 from repro.runtime.sync import make_lock
 
-__all__ = ["Counters", "counting", "current_counters", "add_flops", "add_sync", "add_words"]
+__all__ = [
+    "Counters",
+    "counting",
+    "current_counters",
+    "add_flops",
+    "add_sync",
+    "add_words",
+    "add_roundtrip",
+]
 
 
 @dataclass
@@ -54,6 +62,11 @@ class Counters:
         communication volume across task boundaries.
     comparisons:
         Pivot-search comparisons (partial pivoting / tournament).
+    roundtrips:
+        Worker pipe round-trips (one per descriptor batch shipped by
+        the process backend's :class:`~repro.runtime.process._WorkerPool`).
+        Task fusion batches many op descriptors per round-trip, so this
+        is the dispatch-overhead number the fusion benchmarks gate on.
     kernel_calls:
         Per-kernel-name invocation counts.
     """
@@ -62,6 +75,7 @@ class Counters:
     syncs: int = 0
     words: int = 0
     comparisons: int = 0
+    roundtrips: int = 0
     kernel_calls: dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=lambda: make_lock("counters.counters"), repr=False, compare=False
@@ -83,6 +97,10 @@ class Counters:
         with self._lock:
             self.comparisons += int(n)
 
+    def add_roundtrip(self, n: int = 1) -> None:
+        with self._lock:
+            self.roundtrips += int(n)
+
     def add_call(self, kernel: str) -> None:
         with self._lock:
             self.kernel_calls[kernel] = self.kernel_calls.get(kernel, 0) + 1
@@ -95,6 +113,7 @@ class Counters:
                 "syncs": self.syncs,
                 "words": self.words,
                 "comparisons": self.comparisons,
+                "roundtrips": self.roundtrips,
             }
 
     def reset(self) -> None:
@@ -103,6 +122,7 @@ class Counters:
             self.syncs = 0
             self.words = 0
             self.comparisons = 0
+            self.roundtrips = 0
             self.kernel_calls.clear()
 
 
@@ -158,6 +178,13 @@ def add_comparisons(n: int) -> None:
     c = current_counters()
     if c is not None:
         c.add_comparisons(n)
+
+
+def add_roundtrip(n: int = 1) -> None:
+    """Report *n* worker pipe round-trips to the active counter."""
+    c = current_counters()
+    if c is not None:
+        c.add_roundtrip(n)
 
 
 def add_call(kernel: str) -> None:

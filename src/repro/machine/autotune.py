@@ -1,0 +1,302 @@
+"""Machine-model dispatch autotuning: backend + fusion granularity.
+
+The calibrated :class:`~repro.machine.model.MachineModel` prices every
+task's kernel time and per-task overhead, and the process backend's
+dispatch cost is one pipe round-trip per descriptor batch — measurable
+(:func:`calibrate_pipe` times ``noop`` descriptors through a live
+worker pipe).  This module closes the loop the paper frames as sizing
+the unit of work to the hardware: given ``(kind, shape, b, Tr)`` it
+predicts the threaded and process makespans over the *symbolic* task
+graph (no arithmetic executed) and picks
+
+* the **backend** — process pays spawn plus one round-trip per
+  super-task but scales with physical cores; threaded pays only
+  scheduler overhead but serializes kernel dispatch on the GIL;
+* the **fusion granularity** ``max_ops`` — how many ops
+  :func:`repro.runtime.fuse.fuse_program` may batch into one
+  super-task, chosen so a batch's kernel work dominates its dispatch
+  cost without flattening intra-panel parallelism.
+
+Exposed as ``executor="auto"`` on the drivers (``calu``/``caqr``/
+``tsqr``), through :func:`repro.runtime.process.resolve_executor`, and
+as the ``FactorizationService`` backend; every decision is a
+:class:`DispatchDecision` recorded into the run's trace (an
+``"autotune"`` resilience event) so benchmarks can audit the choice.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.resilience.events import ResilienceEvent
+
+__all__ = [
+    "DispatchDecision",
+    "PipeCalibration",
+    "autotune",
+    "calibrate_pipe",
+    "measure_roundtrip",
+    "clear_cache",
+]
+
+#: Fallback dispatch prices when worker processes cannot be spawned in
+#: this environment (sandboxes without fork): conservative figures that
+#: steer the decision toward the threaded backend.
+_FALLBACK_ROUNDTRIP_S = 2e-4
+_FALLBACK_SPAWN_S = 5e-2
+
+#: Hard cap on the fusion granularity the tuner will request.
+_MAX_OPS_CAP = 16
+
+#: A super-task's kernel work should dominate its round-trip by this
+#: factor before we stop growing the batch.
+_BATCH_WORK_FACTOR = 8.0
+
+
+@dataclass(frozen=True)
+class PipeCalibration:
+    """Measured dispatch prices of the process backend.
+
+    ``roundtrip_s`` is one descriptor send + ack through a live worker
+    pipe; ``spawn_s`` is the cost of bringing one worker up (process
+    start through first ack).  ``measured`` is False when spawning
+    failed and the conservative fallback figures are in use.
+    """
+
+    roundtrip_s: float
+    spawn_s: float
+    measured: bool = True
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """One autotuning verdict, with the inputs needed to audit it."""
+
+    backend: str  # "threaded" | "process"
+    max_ops: int  # fusion granularity (1 = no fusion)
+    n_workers: int
+    kind: str
+    shape: Optional[tuple]
+    b: Optional[int]
+    tr: Optional[int]
+    predicted_s: dict  # backend -> predicted makespan (seconds)
+    roundtrip_s: float
+    reason: str
+
+    def event(self) -> ResilienceEvent:
+        """The trace record benchmarks and tests audit."""
+        shape = f"{self.shape[0]}x{self.shape[1]}" if self.shape else "?"
+        return ResilienceEvent(
+            "autotune",
+            detail=(
+                f"backend={self.backend} max_ops={self.max_ops} "
+                f"kind={self.kind} shape={shape} b={self.b} tr={self.tr} "
+                f"roundtrip={self.roundtrip_s * 1e6:.1f}us "
+                + " ".join(f"{k}={v:.3g}s" for k, v in sorted(self.predicted_s.items()))
+                + f"; {self.reason}"
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "max_ops": self.max_ops,
+            "n_workers": self.n_workers,
+            "kind": self.kind,
+            "shape": list(self.shape) if self.shape else None,
+            "b": self.b,
+            "tr": self.tr,
+            "predicted_s": dict(self.predicted_s),
+            "roundtrip_s": self.roundtrip_s,
+            "reason": self.reason,
+        }
+
+
+_pipe_cal: PipeCalibration | None = None
+_decisions: dict = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized calibrations and decisions (tests, re-calibration)."""
+    global _pipe_cal
+    _pipe_cal = None
+    _decisions.clear()
+
+
+def calibrate_pipe(samples: int = 64, *, refresh: bool = False) -> PipeCalibration:
+    """Measure worker spawn and per-descriptor round-trip cost (cached).
+
+    Spins up one real worker process and streams ``noop`` descriptors
+    through its pipe — the exact path
+    :meth:`~repro.runtime.process._WorkerPool.run` takes per super-task.
+    Falls back to conservative constants when processes cannot start.
+    """
+    global _pipe_cal
+    if _pipe_cal is not None and not refresh:
+        return _pipe_cal
+    from repro.runtime.process import _WorkerPool
+
+    pool = None
+    try:
+        t0 = time.perf_counter()
+        pool = _WorkerPool(1)
+        pool.run(0, ("noop", {}))  # spawn + first ack
+        spawn_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(samples):
+            pool.run(0, ("noop", {}))
+        roundtrip_s = (time.perf_counter() - t0) / samples
+        cal = PipeCalibration(roundtrip_s=roundtrip_s, spawn_s=spawn_s)
+    except Exception:
+        cal = PipeCalibration(
+            roundtrip_s=_FALLBACK_ROUNDTRIP_S, spawn_s=_FALLBACK_SPAWN_S, measured=False
+        )
+    finally:
+        if pool is not None:
+            try:
+                pool.close()
+            except Exception:
+                pass
+    _pipe_cal = cal
+    return cal
+
+
+def measure_roundtrip(samples: int = 64, *, refresh: bool = False) -> float:
+    """One descriptor dispatch through a live worker pipe, in seconds."""
+    return calibrate_pipe(samples, refresh=refresh).roundtrip_s
+
+
+def _symbolic_graph(kind: str, m: int, n: int, b: int, tr: int, tree):
+    from repro.core.layout import BlockLayout
+
+    layout = BlockLayout(m, n, b)
+    if kind == "lu":
+        from repro.core.calu import build_calu_graph
+
+        return build_calu_graph(layout, tr, tree)[0]
+    if kind == "qr":
+        from repro.core.caqr import build_caqr_graph
+
+        return build_caqr_graph(layout, tr, tree)[0]
+    raise ValueError(f"unknown factorization kind {kind!r}; expected 'lu' or 'qr'")
+
+
+def _pick_max_ops(mean_task_s: float, dispatch_s: float) -> int:
+    """Smallest power-of-two batch whose work dominates its dispatch."""
+    g = 1
+    while g < _MAX_OPS_CAP and mean_task_s * g < _BATCH_WORK_FACTOR * dispatch_s:
+        g *= 2
+    return g
+
+
+def autotune(
+    kind: str = "lu",
+    m: int | None = None,
+    n: int | None = None,
+    b: int | None = None,
+    tr: int | None = None,
+    tree=None,
+    *,
+    model=None,
+    cores: int | None = None,
+    pipe: PipeCalibration | None = None,
+    persistent_pool: bool = False,
+) -> DispatchDecision:
+    """Pick backend and fusion granularity for one problem instance.
+
+    With no shape the decision degrades to a safe default (threaded,
+    modest fusion).  *model* defaults to the ``generic`` preset sized to
+    this host's cores — pass a :func:`~repro.machine.calibrate.calibrate_host`
+    result for measured kernel rates.  *persistent_pool* drops the
+    worker-spawn term (a service reusing one pool amortizes it away).
+    Decisions are memoized per (kind, shape, b, tr, tree, pool mode)
+    when model and pipe are defaulted.
+    """
+    from repro.core.trees import TreeKind
+    from repro.runtime.process import default_process_workers
+
+    if tree is None:
+        tree = TreeKind.FLAT
+    cacheable = model is None and pipe is None and cores is None
+    key = (kind, m, n, b, tr, getattr(tree, "value", tree), persistent_pool)
+    if cacheable and key in _decisions:
+        return _decisions[key]
+
+    if cores is None:
+        cores = default_process_workers()
+    if pipe is None:
+        pipe = calibrate_pipe()
+    if model is None:
+        from repro.machine.presets import generic
+
+        model = generic(cores)
+
+    if m is None or n is None:
+        decision = DispatchDecision(
+            backend="threaded",
+            max_ops=4,
+            n_workers=min(cores, 4),
+            kind=kind,
+            shape=None,
+            b=b,
+            tr=tr,
+            predicted_s={},
+            roundtrip_s=pipe.roundtrip_s,
+            reason="no shape hints; defaulting to threaded with light fusion",
+        )
+        if cacheable:
+            _decisions[key] = decision
+        return decision
+
+    if b is None:
+        b = min(100, n)
+    if tr is None:
+        tr = 4
+    graph = _symbolic_graph(kind, m, n, b, tr, tree)
+    times = [model.seq_time(t.cost) for t in graph.tasks]
+    work = sum(times)
+    span = graph.critical_path(lambda t: model.seq_time(t.cost))[0]
+    n_tasks = len(times)
+    mean_task_s = work / max(1, n_tasks)
+
+    max_ops = _pick_max_ops(mean_task_s, pipe.roundtrip_s)
+    n_batches = math.ceil(n_tasks / max_ops)
+    spawn_s = 0.0 if persistent_pool else pipe.spawn_s * cores
+    threads = max(1, min(cores, tr, 4))
+    predicted = {
+        "threaded": max(span, work / threads),
+        "process": max(span, work / cores) + n_batches * pipe.roundtrip_s + spawn_s,
+    }
+    backend = min(predicted, key=predicted.__getitem__)
+    if backend == "threaded":
+        # Fusion still trims scheduler bookkeeping on tiny tasks, but
+        # round-trips are off the table — keep batches shallow so the
+        # frontier stays wide.
+        max_ops = min(max_ops, 4)
+        reason = (
+            f"threaded wins: {n_tasks} tasks, mean {mean_task_s * 1e6:.0f}us/task; "
+            f"process would pay {n_batches} round-trips + {spawn_s:.3g}s spawn"
+        )
+    else:
+        reason = (
+            f"process wins: work {work:.3g}s over {cores} cores beats "
+            f"{threads}-thread dispatch; {n_batches} batches of <= {max_ops} ops"
+        )
+    decision = DispatchDecision(
+        backend=backend,
+        max_ops=max_ops,
+        n_workers=cores if backend == "process" else threads,
+        kind=kind,
+        shape=(m, n),
+        b=b,
+        tr=tr,
+        predicted_s=predicted,
+        roundtrip_s=pipe.roundtrip_s,
+        reason=reason,
+    )
+    if cacheable:
+        _decisions[key] = decision
+    return decision

@@ -36,11 +36,12 @@ import json
 import os
 import struct
 import tempfile
+import threading
 import zlib
 
 import numpy as np
 
-from repro.runtime.sync import make_lock
+from repro.runtime.sync import make_condition, make_lock
 
 __all__ = [
     "CheckpointStore",
@@ -274,6 +275,99 @@ def _digest(arr: np.ndarray) -> int:
     return zlib.crc32(np.ascontiguousarray(arr).tobytes())
 
 
+class _SnapshotWriter:
+    """Double-buffered background writer for snapshot payloads.
+
+    Serialization + fsync of a boundary snapshot measured ~20% of total
+    runtime on checkpointed runs (``BENCH_checkpoint.json``); none of it
+    needs to happen on the worker that hit the boundary.  ``submit``
+    copies nothing itself (the caller hands over already-copied arrays)
+    and returns as soon as the job is parked in the single pending slot:
+    one job may be *in flight* on the writer thread while one more waits
+    *pending* — a third submission blocks, bounding memory at two
+    snapshots, and a newer pending job never overtakes an older one
+    (jobs drain strictly FIFO, preserving the ``prev``-pointer chain
+    order on disk).
+
+    Durability is unchanged: jobs run the same atomic-rename/fsync store
+    writes, just on this thread.  A crash can only lose the *tail* of
+    the chain — a resume then restores from one boundary earlier, and
+    re-running the covered panels reproduces bitwise-identical factors.
+    Write errors are captured and re-raised to the caller on the next
+    :meth:`submit` or :meth:`flush`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("checkpoint.writer")
+        self._cond = make_condition("checkpoint.writer", self._lock)
+        self._pending = None  # the single buffered job
+        self._busy = False  # a job is executing on the writer thread
+        self._error: BaseException | None = None
+        self._closed = False
+        self._thread: threading.Thread | None = None
+
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                while self._pending is None and not self._closed:
+                    self._cond.wait(0.1)
+                if self._pending is None:
+                    return
+                job = self._pending
+                self._pending = None
+                self._busy = True
+                self._cond.notify_all()
+            try:
+                job()
+            except BaseException as exc:  # surfaced on next submit/flush
+                with self._lock:
+                    self._error = exc
+            finally:
+                with self._lock:
+                    self._busy = False
+                    self._cond.notify_all()
+
+    def _raise_pending_error(self) -> None:
+        if self._error is not None:
+            exc, self._error = self._error, None
+            raise exc
+
+    def submit(self, job) -> None:
+        with self._lock:
+            self._raise_pending_error()
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-ckpt-writer", daemon=True
+                )
+                self._thread.start()
+            while self._pending is not None:  # backpressure: slot taken
+                self._cond.wait(0.1)
+            self._pending = job
+            self._cond.notify_all()
+
+    def flush(self) -> None:
+        """Block until every submitted job has hit the store; re-raise errors."""
+        if threading.current_thread() is self._thread:
+            # Called from a job (e.g. the prune step listing keys):
+            # FIFO draining already guarantees it sees every prior
+            # write, and waiting on ourselves would deadlock.
+            return
+        with self._lock:
+            while self._pending is not None or self._busy:
+                self._cond.wait(0.1)
+            self._raise_pending_error()
+
+    def close(self) -> None:
+        self.flush()
+        with self._lock:
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join()
+
+
 class Checkpoint:
     """Panel-boundary snapshot manager over a :class:`CheckpointStore`.
 
@@ -291,6 +385,16 @@ class Checkpoint:
         deleted as the factorization advances.  Keeping 2 lets the
         restore ladder fall back one boundary if the newest trailing
         payload is corrupt.
+    async_writes:
+        Serialize and persist snapshots on a background writer thread
+        (double-buffered: one write in flight, one buffered, further
+        saves block) instead of on the task that reached the boundary.
+        :meth:`save_snapshot` then only pays for copying the live views
+        out of the matrix; every read path (and :meth:`flush`) drains
+        the writer first, so readers always observe their own writes.
+        Durability is per-write unchanged; a crash can lose only the
+        newest in-flight snapshot, costing a resume one extra boundary
+        of recomputation — never bitwise fidelity.
     """
 
     def __init__(
@@ -299,6 +403,7 @@ class Checkpoint:
         key: str = "ckpt",
         interval: int = 1,
         keep_trailing: int = 2,
+        async_writes: bool = True,
     ) -> None:
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
@@ -308,6 +413,7 @@ class Checkpoint:
         self.key = key
         self.interval = interval
         self.keep_trailing = keep_trailing
+        self._writer = _SnapshotWriter() if async_writes else None
 
     # ------------------------------------------------------------------
     # Keys and metadata
@@ -321,8 +427,14 @@ class Checkpoint:
 
         return TaskJournal(self.store, key=self._k("journal"))
 
+    def flush(self) -> None:
+        """Wait for in-flight snapshot writes; re-raise any write error."""
+        if self._writer is not None:
+            self._writer.flush()
+
     def clear(self) -> None:
         """Drop every snapshot and journal entry in this namespace."""
+        self.flush()
         self.store.clear(self.key + "/")
 
     def prepare(self, signature: dict) -> bool:
@@ -334,6 +446,7 @@ class Checkpoint:
         computation: everything is cleared and the run starts fresh.
         Returns True when existing snapshots remain usable.
         """
+        self.flush()
         lines = self.store.read_lines(self._k("meta"))
         stored = None
         if lines:
@@ -366,7 +479,17 @@ class Checkpoint:
         trailing: np.ndarray,
         extra: dict | None = None,
     ) -> None:
-        """Persist the boundary-*K* snapshot (delta + latest trailing)."""
+        """Persist the boundary-*K* snapshot (delta + latest trailing).
+
+        With ``async_writes`` the live views handed in (``cols``,
+        ``urows``, ``trailing`` alias the factorization's matrix, which
+        keeps mutating past the boundary) are copied *now*, and the
+        serialization + store writes happen on the background writer.
+        The previous boundary's write is drained first, so reaching
+        boundary ``K`` makes boundary ``K-1`` durable: a crash loses at
+        most the newest snapshot, and the write of boundary ``K``
+        overlaps the compute of panel ``K+1``.
+        """
         arrays = {
             "cols": cols,
             "urows": urows,
@@ -374,6 +497,15 @@ class Checkpoint:
         }
         if extra:
             arrays.update(extra)
+        if self._writer is None:
+            self._persist_snapshot(K, arrays, trailing)
+            return
+        self._writer.flush()
+        arrays = {k: np.array(v, copy=True) for k, v in arrays.items()}
+        trailing = np.array(trailing, copy=True)
+        self._writer.submit(lambda: self._persist_snapshot(K, arrays, trailing))
+
+    def _persist_snapshot(self, K: int, arrays: dict, trailing: np.ndarray) -> None:
         self.store.save_arrays(self._k("panel", K), arrays)
         self.store.save_arrays(
             self._k("trailing", K),
@@ -382,6 +514,7 @@ class Checkpoint:
         self._prune_trailing(K)
 
     def _trailing_ks(self) -> list[int]:
+        self.flush()
         prefix = self._k("trailing") + "/"
         out = []
         for k in self.store.keys():
@@ -398,10 +531,12 @@ class Checkpoint:
             self.store.delete(self._k("trailing", old))
 
     def load_snapshot(self, K: int) -> dict | None:
+        self.flush()
         return self.store.load_arrays(self._k("panel", K))
 
     def load_trailing(self, K: int) -> np.ndarray | None:
         """The boundary-*K* trailing matrix, or None if absent/corrupt."""
+        self.flush()
         data = self.store.load_arrays(self._k("trailing", K))
         if data is None or "trailing" not in data or "digest" not in data:
             return None
@@ -418,6 +553,7 @@ class Checkpoint:
         every delta payload (and the trailing digest) to verify.  An
         empty list means no usable checkpoint — start from scratch.
         """
+        self.flush()
         for K in reversed(self._trailing_ks()):
             if self.load_trailing(K) is None:
                 continue

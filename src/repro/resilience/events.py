@@ -44,6 +44,9 @@ __all__ = ["ResilienceEvent", "EVENT_KINDS"]
 #:     A numerical health guard fired (NaN/Inf block, pivot growth).
 #: ``timeout`` / ``stall`` / ``deadlock`` / ``worker_death``
 #:     Watchdog findings; always fatal.
+#: ``autotune``
+#:     The dispatch autotuner recorded its backend/fusion decision
+#:     (informational; see :mod:`repro.machine.autotune`).
 EVENT_KINDS = (
     "fault_stall",
     "fault_raise",
@@ -63,6 +66,7 @@ EVENT_KINDS = (
     "stall",
     "deadlock",
     "worker_death",
+    "autotune",
 )
 
 

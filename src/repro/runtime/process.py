@@ -37,6 +37,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 
+# Module-style import: counters itself imports repro.runtime.sync, so a
+# from-import here would fail when counters is the first module loaded.
+from repro import counters as _counters
 from repro.resilience.faults import FaultPlan
 from repro.resilience.recovery import RetryPolicy, RuntimeFailure
 from repro.runtime.engine import CentralFrontier, ExecutionEngine
@@ -167,7 +170,10 @@ class _WorkerPool:
             try:
                 # The per-core lock is deliberately held across this
                 # pipe round-trip: it *is* the worker's serialization.
+                # One send/recv cycle per descriptor batch — a fused
+                # super-task ships its whole op list in this one write.
                 note_roundtrip()
+                _counters.add_roundtrip()
                 conn.send(op)
                 while not conn.poll(_POLL_S):
                     if not self._procs[core].is_alive():
@@ -386,19 +392,34 @@ def default_process_workers() -> int:
     return max(1, min(os.cpu_count() or 1, 8))
 
 
-def resolve_executor(executor, n_workers: int | None = None):
+def resolve_executor(executor, n_workers: int | None = None, *, hints: dict | None = None):
     """Resolve an ``executor=`` argument to ``(instance, owned)``.
 
-    Accepts the strings ``"threaded"``, ``"stealing"`` and ``"process"``
-    (returning a fresh instance the caller owns and should close) or any
-    executor object (returned as-is, ``owned=False``).  Drivers use this
-    so ``calu(A, executor="process")`` works without the caller managing
-    pool lifetime.
+    Accepts the strings ``"threaded"``, ``"stealing"``, ``"process"``
+    and ``"auto"`` (returning a fresh instance the caller owns and
+    should close) or any executor object (returned as-is,
+    ``owned=False``).  Drivers use this so ``calu(A,
+    executor="process")`` works without the caller managing pool
+    lifetime.
+
+    ``"auto"`` asks the machine-model autotuner
+    (:func:`repro.machine.autotune.autotune`) to pick the backend;
+    *hints* (``kind``/``m``/``n``/``b``/``tr``) sharpen the decision,
+    and the chosen :class:`~repro.machine.autotune.DispatchDecision` is
+    attached to the returned instance as ``autotune_decision`` so
+    callers can audit (and fuse to) the choice.
     """
     if not isinstance(executor, str):
         return executor, False
     if n_workers is None:
         n_workers = 4
+    if executor == "auto":
+        from repro.machine.autotune import autotune
+
+        decision = autotune(**(hints or {}))
+        instance, owned = resolve_executor(decision.backend, n_workers)
+        instance.autotune_decision = decision
+        return instance, owned
     if executor == "threaded":
         from repro.runtime.threaded import ThreadedExecutor
 
@@ -410,5 +431,6 @@ def resolve_executor(executor, n_workers: int | None = None):
     if executor == "process":
         return ProcessExecutor(n_workers), True
     raise ValueError(
-        f"unknown executor {executor!r}; expected 'threaded', 'stealing' or 'process'"
+        f"unknown executor {executor!r}; expected 'threaded', 'stealing', "
+        "'process' or 'auto'"
     )

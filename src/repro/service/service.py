@@ -76,6 +76,15 @@ class ServiceConfig:
         ``"process"`` (worker pool + shared arena), ``"threaded"``
         (in-process engine only), or ``"auto"`` (process where ``fork``
         is available, else threaded).
+    fuse:
+        Task-fusion granularity applied when compiling plans
+        (:func:`repro.runtime.fuse.fuse_graph`): ``"auto"`` (default)
+        lets the machine-model autotuner pick ``max_ops`` per
+        (shape, b, Tr) — with the worker-spawn term dropped, since the
+        service's pool is persistent; an ``int`` fixes it; ``None`` or
+        ``1`` disables fusion.  The resolved granularity is part of the
+        plan-cache key, and the autotuner's decision is appended to
+        every request's trace as an ``autotune`` event.
     max_active, max_queue:
         Admission bounds: requests running concurrently, and requests
         queued behind them before load shedding kicks in.
@@ -118,6 +127,7 @@ class ServiceConfig:
 
     cores: int = 4
     backend: str = "auto"
+    fuse: "int | str | None" = "auto"
     max_active: int = 2
     max_queue: int = 8
     default_deadline_s: float | None = None
@@ -144,6 +154,12 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.backend not in ("auto", "process", "threaded"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if not (
+            self.fuse is None
+            or self.fuse == "auto"
+            or (isinstance(self.fuse, int) and self.fuse >= 1)
+        ):
+            raise ValueError(f"fuse must be 'auto', None or an int >= 1, got {self.fuse!r}")
         if self.cores < 1:
             raise ValueError("cores must be >= 1")
         if self.max_active < 1:
@@ -166,13 +182,16 @@ class _CompiledPlan:
     (the cache enforces exclusivity).
     """
 
-    def __init__(self, key, graph, A_buf, *, workspaces=None, stores=None, arena=None):
+    def __init__(
+        self, key, graph, A_buf, *, workspaces=None, stores=None, arena=None, decision=None
+    ):
         self.key = key
         self.graph = graph
         self.A_buf = A_buf
         self.workspaces = workspaces  # CALU: per-panel PanelWorkspace
         self.stores = stores  # CAQR: per-panel PanelQRStore
         self.arena = arena  # process backend only
+        self.decision = decision  # autotuner DispatchDecision (fuse="auto")
         self.runs = 0
 
     def load(self, A: np.ndarray) -> None:
@@ -477,6 +496,8 @@ class FactorizationService:
                 process_pool=self._executor.pool if use_process else None,
             )
             trace = engine.run(plan.graph)
+            if plan.decision is not None:
+                trace.events.append(plan.decision.event())
             return extract(plan, trace)
         finally:
             self._checkin_plan(plan, cached)
@@ -549,7 +570,28 @@ class FactorizationService:
     # ------------------------------------------------------------------
     def _plan_key(self, op, shape, params) -> tuple:
         b, tr, tree = params
-        return (op, shape[0], shape[1], b, tr, tree.value, self.backend)
+        max_ops, _ = self._fusion_for(op, shape, params)
+        return (op, shape[0], shape[1], b, tr, tree.value, self.backend, max_ops)
+
+    def _fusion_for(self, op, shape, params):
+        """Resolve the configured fusion knob to ``(max_ops, decision)``.
+
+        ``decision`` is the autotuner's :class:`DispatchDecision` under
+        ``fuse="auto"`` (memoized per shape inside the autotuner), else
+        ``None``.  Only the granularity is taken from the decision — the
+        service's backend is fixed at construction because the worker
+        pool is shared and persistent.
+        """
+        fuse = self.config.fuse
+        if fuse == "auto":
+            from repro.machine.autotune import autotune
+
+            b, tr, tree = params
+            decision = autotune(
+                op, shape[0], shape[1], b=b, tr=tr, tree=tree, persistent_pool=True
+            )
+            return decision.max_ops, decision
+        return (fuse if isinstance(fuse, int) else 1), None
 
     def _total_plans(self) -> int:
         return sum(len(v) for v in self._plans.values())
@@ -638,6 +680,7 @@ class FactorizationService:
         b, tr, tree = params
         m, n = shape
         layout = BlockLayout(m, n, b)
+        max_ops, decision = self._fusion_for(op, shape, params)
         arena = shm = None
         if self.backend == "process":
             from repro.runtime.shm import SharedArena, ShmBinding
@@ -651,13 +694,28 @@ class FactorizationService:
         # magnitude (zero here), so cached plans run without it; the
         # fatal finiteness guards — and the final _guard_finite sweep —
         # remain fully armed.  See docs/SERVICE.md.
+        def compile_graph(program):
+            graph = program.materialize()
+            if max_ops > 1:
+                from repro.runtime.fuse import fuse_graph
+
+                graph = fuse_graph(graph, max_ops=max_ops)
+            return graph
+
         if op == "lu":
             program, workspaces = calu_program(layout, tr, tree, A=A_buf, shm=shm)
             return _CompiledPlan(
-                key, program.materialize(), A_buf, workspaces=workspaces, arena=arena
+                key,
+                compile_graph(program),
+                A_buf,
+                workspaces=workspaces,
+                arena=arena,
+                decision=decision,
             )
         program, stores = caqr_program(layout, tr, tree, A=A_buf, shm=shm)
-        return _CompiledPlan(key, program.materialize(), A_buf, stores=stores, arena=arena)
+        return _CompiledPlan(
+            key, compile_graph(program), A_buf, stores=stores, arena=arena, decision=decision
+        )
 
     # ------------------------------------------------------------------
     # Deadline reaper
@@ -695,6 +753,7 @@ class FactorizationService:
         """One snapshot of every subsystem's counters."""
         out = {
             "backend": self.backend,
+            "fuse": self.config.fuse,
             "admission": self._admission.snapshot(),
             "breaker": self._breaker.snapshot(),
             "respawn": self._governor.snapshot(),

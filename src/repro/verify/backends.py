@@ -61,13 +61,16 @@ def check_backend_equivalence(
     tr: int,
     tree: TreeKind,
     seed: int = 0,
+    fuse: int | None = None,
 ) -> list[Finding]:
     """Factor one matrix through both backends; demand bitwise equality.
 
     *kind* is ``"lu"`` (CALU: compares packed LU + pivots) or ``"qr"``
     (CAQR: compares ``R``, the packed matrix and every panel-store
-    array).  Returns ``error`` findings for each differing output;
-    an empty list means the backends agree bit-for-bit.
+    array).  *fuse* forwards a task-fusion granularity to both drivers,
+    so fused super-task dispatch is held to the same bitwise bar.
+    Returns ``error`` findings for each differing output; an empty list
+    means the backends agree bit-for-bit.
     """
     from repro.core.calu import calu
     from repro.core.caqr import caqr
@@ -75,13 +78,13 @@ def check_backend_equivalence(
     A = np.random.default_rng(seed).standard_normal((m, n))
     findings: list[Finding] = []
     if kind == "lu":
-        ref = calu(A.copy(), b=b, tr=tr, tree=tree, executor="threaded")
-        alt = calu(A.copy(), b=b, tr=tr, tree=tree, executor="process")
+        ref = calu(A.copy(), b=b, tr=tr, tree=tree, executor="threaded", fuse=fuse)
+        alt = calu(A.copy(), b=b, tr=tr, tree=tree, executor="process", fuse=fuse)
         findings += _compare(name, "packed LU", ref.lu, alt.lu)
         findings += _compare(name, "pivot sequence", ref.piv, alt.piv)
     elif kind == "qr":
-        ref = caqr(A.copy(), b=b, tr=tr, tree=tree, executor="threaded")
-        alt = caqr(A.copy(), b=b, tr=tr, tree=tree, executor="process")
+        ref = caqr(A.copy(), b=b, tr=tr, tree=tree, executor="threaded", fuse=fuse)
+        alt = caqr(A.copy(), b=b, tr=tr, tree=tree, executor="process", fuse=fuse)
         findings += _compare(name, "R factor", ref.R, alt.R)
         findings += _compare(name, "packed matrix", ref.packed, alt.packed)
         for k, (s_ref, s_alt) in enumerate(zip(ref.panels, alt.panels, strict=True)):

@@ -102,6 +102,29 @@ def _caqr_builder(
     return build
 
 
+def _fused_builder(inner: _Builder, max_ops: int = 8, materialize: bool = False) -> _Builder:
+    """A builder emitting the fused rewrite of *inner*'s program.
+
+    Fused targets put super-task dispatch through the same proofs as
+    the pristine graphs: races, lint, footprint sanitizing, schedule
+    fuzzing, fused-stream vs fused-eager equivalence.  *inner* must be
+    a streaming builder: fusion is a per-window rewrite, so the eager
+    twin (``materialize=True``) is the *same* fused program flattened —
+    task-for-task identical, which is exactly what the stream-vs-eager
+    pass demands.
+    """
+
+    def build():
+        from repro.runtime.fuse import fuse_program
+        from repro.runtime.program import as_program
+
+        built, collect = inner()
+        program = fuse_program(as_program(built), max_ops=max_ops)
+        return (program.materialize() if materialize else program), collect
+
+    return build
+
+
 class Target:
     """One graph to verify: a fresh-builder plus dynamic-pass config.
 
@@ -111,7 +134,9 @@ class Target:
     ``backend`` is a ``(kind, m, n, b, tr, tree)`` tuple — when present
     (and execution is allowed) the threaded-vs-process backend
     equivalence pass factors the target's matrix through both executor
-    backends and demands bitwise-identical factors.
+    backends and demands bitwise-identical factors; ``fuse`` forwards a
+    task-fusion granularity to that pass so batched descriptor dispatch
+    is held to the same bar.
     """
 
     def __init__(
@@ -122,12 +147,14 @@ class Target:
         block: int | None = None,
         stream: _Builder | None = None,
         backend: tuple | None = None,
+        fuse: int | None = None,
     ) -> None:
         self.name = name
         self.build = build
         self.block = block  # block size for the sanitizer; None = static only
         self.stream = stream
         self.backend = backend
+        self.fuse = fuse
 
     @property
     def numeric(self) -> bool:
@@ -156,6 +183,32 @@ def default_targets() -> list[Target]:
                     backend=("qr", m, n, b, tr, tree),
                 )
             )
+    # Fused rewrites: the full pass battery over super-task graphs, plus
+    # backend equivalence with batched descriptor dispatch.
+    targets.append(
+        Target(
+            "calu-binary-48x48-fused8",
+            _fused_builder(
+                _calu_builder(48, 48, 8, 4, TreeKind.BINARY, stream=True), materialize=True
+            ),
+            block=8,
+            stream=_fused_builder(_calu_builder(48, 48, 8, 4, TreeKind.BINARY, stream=True)),
+            backend=("lu", 48, 48, 8, 4, TreeKind.BINARY),
+            fuse=8,
+        )
+    )
+    targets.append(
+        Target(
+            "caqr-flat-40x24-fused8",
+            _fused_builder(
+                _caqr_builder(40, 24, 8, 3, TreeKind.FLAT, stream=True), materialize=True
+            ),
+            block=8,
+            stream=_fused_builder(_caqr_builder(40, 24, 8, 3, TreeKind.FLAT, stream=True)),
+            backend=("qr", 40, 24, 8, 3, TreeKind.FLAT),
+            fuse=8,
+        )
+    )
     # Larger symbolic graphs: static proof scales past what we execute.
     for tree in (TreeKind.BINARY, TreeKind.FLAT):
         targets.append(
@@ -274,7 +327,9 @@ def _verify_target(target: Target, fuzz_runs: int, static_only: bool, seed: int)
         kind, m, n, b, tr, tree = target.backend
         report.extend(
             "backends",
-            check_backend_equivalence(target.name, kind, m, n, b, tr, tree, seed=seed),
+            check_backend_equivalence(
+                target.name, kind, m, n, b, tr, tree, seed=seed, fuse=target.fuse
+            ),
         )
     return report
 

@@ -7,6 +7,7 @@ import numpy as np
 from repro.counters import (
     Counters,
     add_flops,
+    add_roundtrip,
     add_sync,
     add_words,
     counting,
@@ -62,7 +63,16 @@ def test_reset():
 def test_snapshot_keys():
     with counting() as c:
         add_flops(1)
-    assert set(c.snapshot()) == {"flops", "syncs", "words", "comparisons"}
+    assert set(c.snapshot()) == {"flops", "syncs", "words", "comparisons", "roundtrips"}
+
+
+def test_roundtrip_counter():
+    with counting() as c:
+        add_roundtrip()
+        add_roundtrip(3)
+    assert c.roundtrips == 4
+    c.reset()
+    assert c.roundtrips == 0
 
 
 def test_kernel_call_registry():

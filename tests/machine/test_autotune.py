@@ -1,0 +1,169 @@
+"""The dispatch autotuner: decision invariants, calibration, wiring.
+
+The autotuner is advisory — it may pick either backend depending on the
+host — so these tests pin the *contract*, not the choice: decisions are
+well-formed, memoized, auditable as trace events, injectable with a
+synthetic :class:`PipeCalibration` for determinism, and reachable
+through ``resolve_executor("auto")`` and the service config.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.trees import TreeKind
+from repro.machine import autotune as at
+from repro.machine.autotune import (
+    DispatchDecision,
+    PipeCalibration,
+    autotune,
+    calibrate_pipe,
+    measure_roundtrip,
+)
+from repro.machine.presets import generic
+from repro.resilience.events import EVENT_KINDS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    at.clear_cache()
+    yield
+    at.clear_cache()
+
+
+#: Deterministic dispatch prices: no live worker spawn in unit tests.
+FAKE_PIPE = PipeCalibration(roundtrip_s=1e-4, spawn_s=5e-2, measured=False)
+
+
+def _decide(**kw):
+    kw.setdefault("pipe", FAKE_PIPE)
+    kw.setdefault("model", generic(4))
+    kw.setdefault("cores", 4)
+    return autotune("lu", 384, 32, b=32, tr=4, tree=TreeKind.BINARY, **kw)
+
+
+class TestDecisionInvariants:
+    def test_well_formed(self):
+        d = _decide()
+        assert d.backend in ("threaded", "process")
+        assert d.max_ops in (1, 2, 4, 8, 16)
+        assert d.n_workers >= 1
+        assert set(d.predicted_s) == {"threaded", "process"}
+        assert all(v > 0 for v in d.predicted_s.values())
+        assert d.roundtrip_s == FAKE_PIPE.roundtrip_s
+        assert d.shape == (384, 32) and d.b == 32 and d.tr == 4
+        assert d.reason  # human-auditable
+
+    def test_predicted_backend_is_argmin(self):
+        d = _decide()
+        assert d.backend == min(d.predicted_s, key=d.predicted_s.__getitem__)
+
+    def test_threaded_choice_keeps_frontier_wide(self):
+        # A brutal round-trip price forces the threaded backend, which
+        # caps fusion at 4 to preserve intra-panel parallelism.
+        d = _decide(pipe=PipeCalibration(roundtrip_s=1.0, spawn_s=10.0, measured=False))
+        assert d.backend == "threaded"
+        assert d.max_ops <= 4
+
+    def test_cheap_dispatch_prefers_shallow_batches(self):
+        # Free dispatch: nothing to amortize, so fusion stays minimal.
+        free = PipeCalibration(roundtrip_s=0.0, spawn_s=0.0, measured=False)
+        assert _decide(pipe=free).max_ops == 1
+
+    def test_no_shape_defaults_to_threaded_light_fusion(self):
+        d = autotune("qr", pipe=FAKE_PIPE, model=generic(4), cores=4)
+        assert d.backend == "threaded" and d.max_ops == 4
+        assert d.shape is None and d.predicted_s == {}
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown factorization kind"):
+            autotune("cholesky", 64, 64, b=16, tr=4, pipe=FAKE_PIPE, model=generic(4), cores=4)
+
+    def test_persistent_pool_drops_spawn_cost(self):
+        cold = _decide(persistent_pool=False)
+        warm = _decide(persistent_pool=True)
+        assert warm.predicted_s["process"] <= cold.predicted_s["process"]
+        assert warm.predicted_s["threaded"] == cold.predicted_s["threaded"]
+
+
+class TestMemoization:
+    def test_defaulted_calls_memoize(self, monkeypatch):
+        monkeypatch.setattr(at, "calibrate_pipe", lambda *a, **k: FAKE_PIPE)
+        d1 = autotune("lu", 96, 48, b=16, tr=4, tree=TreeKind.BINARY)
+        d2 = autotune("lu", 96, 48, b=16, tr=4, tree=TreeKind.BINARY)
+        assert d1 is d2
+
+    def test_explicit_model_bypasses_cache(self):
+        d1 = _decide()
+        d2 = _decide()
+        assert d1 is not d2  # injected model/pipe: never memoized
+        assert d1.to_dict() == d2.to_dict()
+
+    def test_clear_cache_forgets(self, monkeypatch):
+        monkeypatch.setattr(at, "calibrate_pipe", lambda *a, **k: FAKE_PIPE)
+        d1 = autotune("lu", 96, 48, b=16, tr=4, tree=TreeKind.BINARY)
+        at.clear_cache()
+        d2 = autotune("lu", 96, 48, b=16, tr=4, tree=TreeKind.BINARY)
+        assert d1 is not d2
+
+
+class TestAuditTrail:
+    def test_event_kind_is_registered(self):
+        assert "autotune" in EVENT_KINDS
+
+    def test_event_carries_the_decision(self):
+        e = _decide().event()
+        assert e.kind == "autotune"
+        for fragment in ("backend=", "max_ops=", "shape=384x32", "roundtrip="):
+            assert fragment in e.detail
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        d = _decide()
+        blob = json.loads(json.dumps(d.to_dict()))
+        assert blob["backend"] == d.backend
+        assert blob["max_ops"] == d.max_ops
+        assert tuple(blob["shape"]) == d.shape
+
+
+class TestCalibration:
+    def test_calibrate_returns_positive_prices_and_caches(self):
+        c1 = calibrate_pipe(samples=4)
+        c2 = calibrate_pipe(samples=4)
+        assert c1 is c2  # memoized
+        assert c1.roundtrip_s > 0 and c1.spawn_s > 0
+        assert measure_roundtrip(samples=4) == c1.roundtrip_s
+
+    def test_refresh_measures_again(self):
+        c1 = calibrate_pipe(samples=4)
+        c2 = calibrate_pipe(samples=4, refresh=True)
+        assert c2 is not c1
+
+
+class TestWiring:
+    def test_resolve_executor_auto_returns_owned_backend(self):
+        from repro.runtime.process import ProcessExecutor, resolve_executor
+        from repro.runtime.threaded import ThreadedExecutor
+
+        ex, owned = resolve_executor(
+            "auto", 4, hints={"kind": "lu", "m": 96, "n": 48, "b": 16, "tr": 4}
+        )
+        try:
+            assert owned
+            assert isinstance(ex, (ThreadedExecutor, ProcessExecutor))
+            assert isinstance(ex.autotune_decision, DispatchDecision)
+        finally:
+            if isinstance(ex, ProcessExecutor):
+                ex.close()
+
+    def test_service_config_validates_fuse(self):
+        from repro.service.service import ServiceConfig
+
+        ServiceConfig(fuse="auto")
+        ServiceConfig(fuse=None)
+        ServiceConfig(fuse=8)
+        with pytest.raises(ValueError):
+            ServiceConfig(fuse=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(fuse="always")

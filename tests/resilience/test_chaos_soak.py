@@ -177,8 +177,11 @@ _CHILD = textwrap.dedent(
 def test_calu_survives_process_kill(tmp_path):
     root = str(tmp_path / "store")
     env = dict(os.environ, PYTHONPATH=SRC)
+    # Crash after the second boundary task (C[1] is closure #44 in this
+    # configuration): with async snapshot writes, reaching boundary K
+    # guarantees boundary K-1 is durable, so C[0] must survive the kill.
     proc = subprocess.run(
-        [sys.executable, "-c", _CHILD, root, "40"], env=env, capture_output=True, text=True
+        [sys.executable, "-c", _CHILD, root, "50"], env=env, capture_output=True, text=True
     )
     assert proc.returncode == 9, proc.stderr
     # A fresh process resumes from the surviving FileStore snapshots.

@@ -10,6 +10,9 @@ failure types, and journal-aware resume on all three executors.
 import json
 import os
 import pickle
+import signal
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -261,6 +264,7 @@ class TestCheckpoint:
         fs = FileStore(tmp_path / "s")
         c = Checkpoint(fs, keep_trailing=2)
         _fill_boundaries(c, F, layout, [0, 1, 2])
+        c.flush()  # corrupt the file at rest, not racing the async writer
         path = fs._path("ckpt/trailing/2", ".npc")
         with open(path, "wb") as f:
             f.write(b"garbage")
@@ -279,6 +283,124 @@ class TestCheckpoint:
         K, snaps = restore_matrix(A, layout, Checkpoint())
         assert K == -1 and snaps == {}
         assert np.array_equal(A, np.full((8, 8), 7.0))
+
+
+# ----------------------------------------------------------------------
+# Async snapshot writer
+# ----------------------------------------------------------------------
+class _ThreadSpyStore(MemoryStore):
+    """Records which thread performs each array write."""
+
+    def __init__(self):
+        super().__init__()
+        self.writer_threads: list[str] = []
+
+    def save_arrays(self, key, arrays):
+        self.writer_threads.append(threading.current_thread().name)
+        super().save_arrays(key, arrays)
+
+
+class _FlakyStore(MemoryStore):
+    def __init__(self):
+        super().__init__()
+        self.fail = False
+
+    def save_arrays(self, key, arrays):
+        if self.fail:
+            raise OSError("disk full")
+        super().save_arrays(key, arrays)
+
+
+def _one_snapshot(ckpt, K=0):
+    ckpt.save_snapshot(
+        K, cols=np.ones((4, 2)), urows=np.ones((2, 2)), trailing=np.ones((2, 2))
+    )
+
+
+class TestAsyncSnapshotWriter:
+    def test_writes_happen_off_the_caller_thread(self):
+        store = _ThreadSpyStore()
+        c = Checkpoint(store)
+        _one_snapshot(c)
+        c.flush()
+        assert store.writer_threads
+        assert set(store.writer_threads) == {"repro-ckpt-writer"}
+
+    def test_sync_mode_writes_inline(self):
+        store = _ThreadSpyStore()
+        c = Checkpoint(store, async_writes=False)
+        _one_snapshot(c)
+        assert set(store.writer_threads) == {threading.current_thread().name}
+
+    def test_reads_flush_implicitly(self):
+        # No explicit flush anywhere: every read-side API drains the
+        # writer first, so a snapshot is visible the moment save returns.
+        layout = _Layout(12, 12, 4)
+        F = np.arange(144.0).reshape(12, 12)
+        c = Checkpoint()
+        _fill_boundaries(c, F, layout, [0, 1, 2])
+        assert c.snapshot_chain() == [0, 1, 2]
+        A = np.zeros((12, 12))
+        K, _ = restore_matrix(A, layout, c)
+        assert K == 2 and np.array_equal(A, F)
+
+    def test_snapshot_copies_live_views_at_the_boundary(self):
+        # The factorization keeps mutating its matrix after the boundary;
+        # the async path must have copied the views synchronously.
+        store = MemoryStore()
+        c = Checkpoint(store)
+        live = np.ones((2, 2))
+        c.save_snapshot(0, cols=live, urows=live, trailing=live)
+        live[:] = -7.0  # mutate before the background write lands
+        c.flush()
+        snap = c.load_snapshot(0)
+        assert np.array_equal(snap["cols"], np.ones((2, 2)))
+
+    def test_write_error_surfaces_on_flush(self):
+        store = _FlakyStore()
+        c = Checkpoint(store)
+        store.fail = True
+        _one_snapshot(c)  # returns: failure happens on the writer
+        with pytest.raises(OSError, match="disk full"):
+            c.flush()
+        # The error is delivered once; the writer keeps serving.
+        store.fail = False
+        _one_snapshot(c, K=1)
+        c.flush()
+
+    def test_write_error_surfaces_on_next_save_without_flush(self):
+        store = _FlakyStore()
+        c = Checkpoint(store)
+        store.fail = True
+        _one_snapshot(c)
+        deadline = time.monotonic() + 5.0
+        while c._writer._error is None and time.monotonic() < deadline:
+            time.sleep(0.005)
+        store.fail = False
+        with pytest.raises(OSError, match="disk full"):
+            _one_snapshot(c, K=1)
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork to SIGKILL a writer")
+    def test_chain_survives_sigkill_after_flush(self, tmp_path):
+        # fsync-on-replace durability, end to end: a process killed with
+        # SIGKILL right after flush() leaves a fully restorable chain.
+        layout = _Layout(12, 12, 4)
+        F = np.arange(144.0).reshape(12, 12)
+        pid = os.fork()
+        if pid == 0:  # child: write, flush, die without any cleanup
+            try:
+                c = Checkpoint(FileStore(tmp_path / "s", fsync=True))
+                _fill_boundaries(c, F, layout, [0, 1, 2])
+                c.flush()
+            finally:
+                os.kill(os.getpid(), signal.SIGKILL)
+        _, status = os.waitpid(pid, 0)
+        assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+        c = Checkpoint(FileStore(tmp_path / "s"))
+        assert c.snapshot_chain() == [0, 1, 2]
+        A = np.zeros((12, 12))
+        K, _ = restore_matrix(A, layout, c)
+        assert K == 2 and np.array_equal(A, F)
 
 
 # ----------------------------------------------------------------------
