@@ -1,9 +1,12 @@
 """Shared fixtures for the benchmark suite.
 
 Every paper-artifact benchmark writes its formatted table to
-``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
+``benchmarks/tables/<name>.txt`` so a full ``pytest benchmarks/
 --benchmark-only`` run leaves the regenerated tables on disk next to
-the timing report.
+the timing report.  ``benchmarks/results/`` is reserved for the
+checked-in ``BENCH_*.json`` perf-trajectory artifacts; keeping the
+throwaway text renders out of it means ``git status`` stays clean
+after a benchmark run.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = Path(__file__).parent / "results"
+TABLES_DIR = Path(__file__).parent / "tables"
 
 
 @pytest.fixture
@@ -20,8 +23,8 @@ def save_result():
     """Callable fixture: ``save_result(name, formatted_text)``."""
 
     def _save(name: str, text: str) -> Path:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{name}.txt"
+        TABLES_DIR.mkdir(exist_ok=True)
+        path = TABLES_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         return path
 

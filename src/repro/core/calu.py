@@ -683,7 +683,9 @@ def calu(
         ahead of the lowest incomplete one.
     leaf_kernel : sequential kernel at tournament leaves
         (``"rgetf2"``, the paper's choice, or ``"getf2"``).
-    overwrite : allow factoring ``A`` in place.
+    overwrite : allow factoring ``A`` in place (threaded path only;
+        the process backend stages onto the shared-memory arena — one
+        copy in, one copy out — whatever this flag says).
     update_width : optional trailing-update block size ``B >= b``
         (paper Section V extension): coarser, fewer update tasks.
     guards : attach numerical health guards to the task graph (see
@@ -713,7 +715,6 @@ def calu(
     """
     A = validate_matrix(A, "A", require_finite=check_finite)
     dtype = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
-    A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
     # check_finite=False means the caller opted into non-finite input
     # ("garbage in"); the finiteness guards would only fight that.
     guards = guards and check_finite
@@ -737,14 +738,20 @@ def calu(
     use_shm = isinstance(executor, ProcessExecutor)
     arena = shm = None
     if use_shm:
-        # Process backend: the matrix moves onto the shared-memory tile
-        # plane so worker processes factor it in place; results are
-        # copied back out below (see repro.runtime.shm).
+        # Process backend: the matrix is staged straight onto the
+        # shared-memory tile plane (one copy, converting dtype/layout
+        # on the way — no parent-side intermediate even with
+        # overwrite=False) so worker processes factor it in place;
+        # results are copied back out below (see repro.runtime.shm).
         from repro.runtime.shm import SharedArena, ShmBinding
 
         arena = SharedArena()
-        A = arena.place(A)
+        shared = arena.alloc(A.shape, dtype, zero=False)
+        np.copyto(shared, A)
+        A = shared
         shm = ShmBinding(arena, A)
+    else:
+        A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
     program, workspaces = calu_program(
         layout,
         tr,

@@ -653,6 +653,9 @@ def tslu(
     leaf_kernel: str = "rgetf2",
     overwrite: bool = False,
     check_finite: bool = True,
+    store=None,
+    memory_budget: int | None = None,
+    spill_dir=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Factor one tall-skinny panel with tournament pivoting.
 
@@ -664,10 +667,39 @@ def tslu(
     This is the standalone panel operation the paper benchmarks against
     ``MKL_dgetf2``: GEPP-quality pivots with ``O(log2 Tr)``
     synchronizations instead of one per column.
+
+    With *store* or *memory_budget* the panel streams through a tile
+    store (see :func:`repro.core.outofcore.tslu_ooc`) and the packed
+    factors are copied back into RAM to honour this contract — for
+    results that should *stay* out of core, call ``tslu_ooc`` directly.
+
+    Copy semantics: ``overwrite=True`` factors *A* in place only on the
+    threaded path; the process backend stages the panel into a shared-
+    memory arena (one copy in, one copy out) regardless.
     """
+    if store is not None or memory_budget is not None:
+        if executor is not None:
+            raise ValueError(
+                "tslu: out-of-core runs (store=/memory_budget=) manage their own executor"
+            )
+        from repro.core.outofcore import tslu_ooc
+
+        res = tslu_ooc(
+            A,
+            tr=None if memory_budget is not None else tr,
+            memory_budget=memory_budget,
+            store="mmap" if store is None else store,
+            spill_dir=spill_dir,
+            tree=tree,
+            leaf_kernel=leaf_kernel,
+            check_finite=check_finite,
+        )
+        try:
+            return res.lu(), np.array(res.piv)
+        finally:
+            res.destroy()
     A = validate_matrix(A, "A", require_finite=check_finite)
     dtype = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
-    A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
     m, n = A.shape
     if m < n:
         raise ValueError(f"tslu requires a tall panel (m >= n), got {A.shape}")
@@ -679,13 +711,18 @@ def tslu(
     use_shm = isinstance(executor, ProcessExecutor)
     arena = shm = None
     if use_shm:
-        # Process backend: move the panel onto the shared-memory plane
+        # Process backend: stage the panel straight onto the shared-
+        # memory plane (one copy, converting dtype/layout on the way)
         # so worker processes factor it in place (see repro.runtime.shm).
         from repro.runtime.shm import SharedArena, ShmBinding
 
         arena = SharedArena()
-        A = arena.place(A)
+        shared = arena.alloc(A.shape, dtype, zero=False)
+        np.copyto(shared, A)
+        A = shared
         shm = ShmBinding(arena, A)
+    else:
+        A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
     try:
         program, ws = tslu_program(A, tr, tree, leaf_kernel=leaf_kernel, shm=shm)
         source = program if supports_streaming(executor) else program.materialize()

@@ -486,7 +486,10 @@ def tsqr(
     overwrite: bool = False,
     check_finite: bool = True,
     fuse: int | None = None,
-) -> TSQRFactorization:
+    store=None,
+    memory_budget: int | None = None,
+    spill_dir=None,
+):
     """QR-factor one tall-skinny panel with a reduction tree.
 
     The paper's standalone TSQR (Figure 8): up to 5.3x faster than
@@ -495,10 +498,43 @@ def tsqr(
     ``executor="auto"`` and *fuse* behave as in
     :func:`~repro.core.calu.calu` (a standalone panel autotunes as a
     one-panel QR).
+
+    With *store* (``"mmap"``, ``"shm"`` or a
+    :class:`~repro.runtime.tilestore.TileStore`) or *memory_budget*
+    (bytes of fast memory) the panel is factored *out of core*: staged
+    into the tile store and streamed block by block (*A* may then also
+    be a ``(shape, fill)`` source; see :func:`repro.core.outofcore.
+    tsqr_ooc`, to which all other arguments forward).  The result is an
+    :class:`~repro.core.outofcore.OOCTSQRFactorization` — duck-
+    compatible with :class:`TSQRFactorization`, but the caller must
+    ``destroy()`` it to release the spill files.
+
+    Copy semantics: ``overwrite=True`` factors *A* in place only on the
+    threaded (shared-address-space) path.  The process backend always
+    stages the panel into a shared-memory arena — there ``overwrite``
+    merely skips nothing, since the single staging copy doubles as the
+    working copy and results are copied back off the arena.
     """
+    if store is not None or memory_budget is not None:
+        if executor is not None:
+            raise ValueError(
+                "tsqr: out-of-core runs (store=/memory_budget=) manage their own executor"
+            )
+        if tree != TreeKind.FLAT:
+            raise ValueError("tsqr: out-of-core streaming requires tree=TreeKind.FLAT")
+        from repro.core.outofcore import tsqr_ooc
+
+        return tsqr_ooc(
+            A,
+            tr=None if memory_budget is not None else tr,
+            memory_budget=memory_budget,
+            store="mmap" if store is None else store,
+            spill_dir=spill_dir,
+            leaf_kernel=leaf_kernel,
+            check_finite=check_finite,
+        )
     A = validate_matrix(A, "A", require_finite=check_finite)
     dtype = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
-    A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
     m, n = A.shape
     if m < n:
         raise ValueError(f"tsqr requires a tall panel (m >= n), got {A.shape}")
@@ -518,29 +554,36 @@ def tsqr(
     arena = shm = None
     if use_shm:
         # Process backend: panel and WY factors live on the shared-
-        # memory plane; results are copied off before teardown.
+        # memory plane; results are copied off before teardown.  Stage
+        # straight onto the arena — one copy (converting dtype/layout
+        # on the way) instead of a parent-side copy that the place
+        # would immediately duplicate.
         from repro.runtime.shm import SharedArena, ShmBinding
 
         arena = SharedArena()
-        A = arena.place(A)
+        shared = arena.alloc(A.shape, dtype, zero=False)
+        np.copyto(shared, A)
+        A = shared
         shm = ShmBinding(arena, A)
+    else:
+        A = np.array(A, dtype=dtype, order="C", copy=not overwrite, subok=False)
     try:
-        program, store = tsqr_program(A, tr, tree, leaf_kernel=leaf_kernel, shm=shm)
+        program, store_q = tsqr_program(A, tr, tree, leaf_kernel=leaf_kernel, shm=shm)
         if fuse is not None and fuse > 1:
             from repro.runtime.fuse import fuse_program
 
             program = fuse_program(program, max_ops=fuse)
         source = program if supports_streaming(executor) else program.materialize()
         executor.run(source)
-        R = np.triu(A[:n, :]).copy()
+        R = np.triu(A[:n, :])  # np.triu already allocates a fresh array
         if use_shm:
             # Deep-copy the WY factors off the arena before teardown.
-            store = PanelQRStore.from_arrays(
-                {k: np.array(v) for k, v in store.to_arrays().items()}
+            store_q = PanelQRStore.from_arrays(
+                {k: np.array(v) for k, v in store_q.to_arrays().items()}
             )
     finally:
         if arena is not None:
             arena.destroy()
         if owned and use_shm:
             executor.close()
-    return TSQRFactorization(m=m, n=n, store=store, R=R, tr=tr, tree=tree)
+    return TSQRFactorization(m=m, n=n, store=store_q, R=R, tr=tr, tree=tree)

@@ -40,6 +40,8 @@ __all__ = [
     "add_sync",
     "add_words",
     "add_roundtrip",
+    "add_store_read",
+    "add_store_write",
 ]
 
 
@@ -67,6 +69,13 @@ class Counters:
         the process backend's :class:`~repro.runtime.process._WorkerPool`).
         Task fusion batches many op descriptors per round-trip, so this
         is the dispatch-overhead number the fusion benchmarks gate on.
+    store_read_bytes / store_write_bytes:
+        Bytes explicitly transferred between fast memory and a
+        :class:`~repro.runtime.tilestore.TileStore` (slow memory): every
+        ``load``/``store`` on a tile store reports here.  This is the
+        measured counterpart of :mod:`repro.analysis.io_model`'s
+        predicted slow-memory traffic, gated by
+        ``benchmarks/bench_outofcore.py``.
     kernel_calls:
         Per-kernel-name invocation counts.
     """
@@ -76,6 +85,8 @@ class Counters:
     words: int = 0
     comparisons: int = 0
     roundtrips: int = 0
+    store_read_bytes: int = 0
+    store_write_bytes: int = 0
     kernel_calls: dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=lambda: make_lock("counters.counters"), repr=False, compare=False
@@ -101,6 +112,26 @@ class Counters:
         with self._lock:
             self.roundtrips += int(n)
 
+    def add_store_read(self, nbytes: int) -> None:
+        with self._lock:
+            self.store_read_bytes += int(nbytes)
+
+    def add_store_write(self, nbytes: int) -> None:
+        with self._lock:
+            self.store_write_bytes += int(nbytes)
+
+    def merge(self, snapshot: dict[str, int]) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. shipped back from a worker
+        process) into this accumulator."""
+        with self._lock:
+            self.flops += int(snapshot.get("flops", 0))
+            self.syncs += int(snapshot.get("syncs", 0))
+            self.words += int(snapshot.get("words", 0))
+            self.comparisons += int(snapshot.get("comparisons", 0))
+            self.store_read_bytes += int(snapshot.get("store_read_bytes", 0))
+            self.store_write_bytes += int(snapshot.get("store_write_bytes", 0))
+            # roundtrips are counted on the parent side of the pipe only.
+
     def add_call(self, kernel: str) -> None:
         with self._lock:
             self.kernel_calls[kernel] = self.kernel_calls.get(kernel, 0) + 1
@@ -114,6 +145,8 @@ class Counters:
                 "words": self.words,
                 "comparisons": self.comparisons,
                 "roundtrips": self.roundtrips,
+                "store_read_bytes": self.store_read_bytes,
+                "store_write_bytes": self.store_write_bytes,
             }
 
     def reset(self) -> None:
@@ -123,6 +156,8 @@ class Counters:
             self.words = 0
             self.comparisons = 0
             self.roundtrips = 0
+            self.store_read_bytes = 0
+            self.store_write_bytes = 0
             self.kernel_calls.clear()
 
 
@@ -185,6 +220,20 @@ def add_roundtrip(n: int = 1) -> None:
     c = current_counters()
     if c is not None:
         c.add_roundtrip(n)
+
+
+def add_store_read(nbytes: int) -> None:
+    """Report *nbytes* read from a tile store (slow -> fast memory)."""
+    c = current_counters()
+    if c is not None:
+        c.add_store_read(nbytes)
+
+
+def add_store_write(nbytes: int) -> None:
+    """Report *nbytes* written to a tile store (fast -> slow memory)."""
+    c = current_counters()
+    if c is not None:
+        c.add_store_write(nbytes)
 
 
 def add_call(kernel: str) -> None:

@@ -3,14 +3,20 @@
 A task crossing the process boundary is not a closure — closures capture
 parent-process arrays and workspace objects that do not exist in a
 worker.  Instead, builders attach ``meta["op"] = (opname, payload)`` to
-each task: the kernel name plus block coordinates and shared-memory
-buffer specs (see :mod:`repro.runtime.shm`).  A worker receives the
-descriptor, attaches the referenced buffers as zero-copy views and runs
+each task: the kernel name plus block coordinates and tile-plane buffer
+specs (see :mod:`repro.runtime.shm` and
+:mod:`repro.runtime.tilestore`).  A worker receives the descriptor,
+attaches the referenced buffers as zero-copy views and runs
 :func:`run_op`, which performs *exactly* the sequence of kernel calls
 the task's in-process closure would have — same slices, same kernels,
 same order — so threaded and process executions of the same graph
 produce bitwise-identical factors (enforced by ``repro.verify`` and
 ``tests/runtime/test_process_backend.py``).
+
+Specs resolve through the tile-store dispatcher, so a buffer may live
+in a ``multiprocessing.shared_memory`` segment *or* an mmap-backed
+spill file (:class:`~repro.runtime.tilestore.MmapTileStore`) — the ops
+are oblivious to which plane backs them.
 
 Workspace state that lives in Python objects on the threaded path
 (tournament candidate slots, pivot sequences, implicit-Q factors) is
@@ -32,7 +38,7 @@ from types import SimpleNamespace
 
 import numpy as np
 
-from repro.runtime.shm import attach_array
+from repro.runtime.tilestore import attach_array
 
 __all__ = ["run_op", "OPS"]
 

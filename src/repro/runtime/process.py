@@ -53,9 +53,17 @@ _POLL_S = 0.05  # liveness poll interval while awaiting a completion
 
 
 def _worker_main(conn) -> None:
-    """Worker process loop: receive descriptors, run kernels, ack."""
+    """Worker process loop: receive descriptors, run kernels, ack.
+
+    Each op runs under a fresh per-worker :class:`~repro.counters.Counters`
+    whose snapshot ships back with the ack, so kernel flops and
+    tile-store traffic performed *in the worker* still land in the
+    parent's active accumulator (merged by :meth:`_WorkerPool.run`) —
+    counting stays backend-agnostic.
+    """
     from repro.runtime.ops import run_op
 
+    tallies = _counters.Counters()
     while True:
         try:
             op = conn.recv()
@@ -64,14 +72,18 @@ def _worker_main(conn) -> None:
         if op is None:
             break
         try:
-            run_op(op)
+            with _counters.counting(tallies):
+                run_op(op)
         except BaseException as exc:  # ship the failure to the parent
             try:
-                conn.send((False, exc))
+                conn.send((False, exc, tallies.snapshot()))
             except Exception:
-                conn.send((False, RuntimeError(f"{type(exc).__name__}: {exc!r}")))
+                conn.send(
+                    (False, RuntimeError(f"{type(exc).__name__}: {exc!r}"), tallies.snapshot())
+                )
         else:
-            conn.send((True, None))
+            conn.send((True, None, tallies.snapshot()))
+        tallies.reset()
     conn.close()
 
 
@@ -178,7 +190,10 @@ class _WorkerPool:
                 while not conn.poll(_POLL_S):
                     if not self._procs[core].is_alive():
                         raise EOFError
-                ok, err = conn.recv()
+                ok, err, tallies = conn.recv()
+                active = _counters.current_counters()
+                if active is not None and tallies:
+                    active.merge(tallies)
             except (EOFError, OSError, BrokenPipeError) as exc:
                 # The worker died mid-task (OOM kill, segfault, kill -9).
                 # Respawn it so the pool stays whole — unless the

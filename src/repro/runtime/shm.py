@@ -83,14 +83,25 @@ class SharedArena:
         self.segment_bytes = int(segment_bytes)
         self._segments: list[shared_memory.SharedMemory] = []
         self._used: list[int] = []  # bump offset per segment
+        self._sizes: list[int] = []  # segment sizes (first-fit scan)
+        self._bases: list[int] = []  # mapped base address per segment
         self._destroyed = False
         _LIVE_ARENAS.add(self)
 
     # ------------------------------------------------------------------
     # Parent-side allocation
     # ------------------------------------------------------------------
-    def alloc(self, shape: tuple[int, ...] | int, dtype=np.float64) -> np.ndarray:
-        """Allocate a zeroed C-contiguous array in shared memory."""
+    def alloc(
+        self, shape: tuple[int, ...] | int, dtype=np.float64, *, zero: bool = True
+    ) -> np.ndarray:
+        """Allocate a C-contiguous array in shared memory.
+
+        The returned array is zero-filled (the workspace-buffer
+        contract) unless ``zero=False``, the path :meth:`place` uses to
+        avoid streaming freshly mapped pages through memory twice —
+        once for the fill and again for the copy that immediately
+        overwrites the same bytes.
+        """
         if self._destroyed:
             raise ValueError("arena already destroyed")
         if isinstance(shape, int):
@@ -98,25 +109,38 @@ class SharedArena:
         dt = np.dtype(dtype)
         nbytes = max(1, int(dt.itemsize * int(np.prod(shape, dtype=np.int64))))
         seg_idx = None
-        for i, seg in enumerate(self._segments):
-            if self._used[i] + nbytes <= seg.size:
+        for i, size in enumerate(self._sizes):
+            if self._used[i] + nbytes <= size:
                 seg_idx = i
                 break
         if seg_idx is None:
             size = max(self.segment_bytes, _aligned(nbytes))
-            self._segments.append(shared_memory.SharedMemory(create=True, size=size))
+            seg = shared_memory.SharedMemory(create=True, size=size)
+            self._segments.append(seg)
             self._used.append(0)
+            self._sizes.append(seg.size)
+            # Cache the mapped base address once: the mapping is stable
+            # for the segment's lifetime, and rebuilding a frombuffer
+            # view per spec() call made spec/alloc O(#segments) rescans.
+            self._bases.append(
+                np.frombuffer(seg.buf, dtype=np.uint8).__array_interface__["data"][0]
+            )
             seg_idx = len(self._segments) - 1
         seg = self._segments[seg_idx]
         offset = self._used[seg_idx]
         self._used[seg_idx] = _aligned(offset + nbytes)
         arr = np.ndarray(shape, dtype=dt, buffer=seg.buf, offset=offset)
-        arr.fill(0)
+        if zero:
+            arr.fill(0)
         return arr
 
     def place(self, array: np.ndarray) -> np.ndarray:
-        """Copy *array* into the arena; returns the shared view."""
-        out = self.alloc(array.shape, array.dtype)
+        """Copy *array* into the arena; returns the shared view.
+
+        Uses the no-zero allocation path: the copy itself is the first
+        (and only) touch of the freshly allocated bytes.
+        """
+        out = self.alloc(array.shape, array.dtype, zero=False)
         out[...] = array
         return out
 
@@ -131,11 +155,10 @@ class SharedArena:
         if not array.flags["C_CONTIGUOUS"]:
             raise ValueError("spec requires a C-contiguous arena array")
         addr = array.__array_interface__["data"][0]
-        for seg in self._segments:
-            base = np.frombuffer(seg.buf, dtype=np.uint8).__array_interface__["data"][0]
-            if base <= addr < base + seg.size:
+        for seg, base, size in zip(self._segments, self._bases, self._sizes):
+            if base <= addr < base + size:
                 offset = addr - base
-                if offset + array.nbytes > seg.size:
+                if offset + array.nbytes > size:
                     break
                 return (seg.name, int(offset), tuple(array.shape), array.dtype.str)
         raise ValueError("array does not live in this arena")
@@ -171,6 +194,8 @@ class SharedArena:
                 pass
         self._segments = []
         self._used = []
+        self._sizes = []
+        self._bases = []
 
     def __del__(self) -> None:  # best-effort backstop; drivers call destroy()
         try:

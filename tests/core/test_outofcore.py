@@ -1,0 +1,327 @@
+"""Out-of-core TSQR/TSLU: parity with in-memory, traffic, memory caps."""
+
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.analysis.io_model import panel_io_ca_flat, predicted_panel_io
+from repro.core.outofcore import (
+    MatrixSource,
+    as_source,
+    direct_tsqr,
+    plan_chunks,
+    tslu_ooc,
+    tsqr_ooc,
+)
+from repro.core.trees import TreeKind
+from repro.core.tslu import tslu
+from repro.core.tsqr import tsqr
+from repro.counters import counting
+from repro.kernels.lu import piv_to_perm
+
+RNG = np.random.default_rng(7)
+
+
+# ---------------------------------------------------------------------------
+# Planning and sources
+# ---------------------------------------------------------------------------
+
+
+def test_as_source_forms():
+    A = RNG.standard_normal((10, 3))
+    s = as_source(A)
+    assert s.shape == (10, 3)
+    np.testing.assert_array_equal(s.fill(2, 5), A[2:5])
+    s2 = as_source(((10, 3), lambda r0, r1: A[r0:r1]))
+    assert isinstance(s2, MatrixSource) and s2.shape == (10, 3)
+    with pytest.raises(ValueError, match="2-D"):
+        as_source(np.zeros(5))
+
+
+def test_plan_chunks_budget_bounds_block_height():
+    n = 8
+    budget = 3 * 4 * n * n * 8  # room for 4 block-rows per resident block
+    chunks = plan_chunks(1000, n, memory_budget=budget, n_workers=1)
+    assert all(c.rows <= 4 * n for c in chunks)
+    assert chunks[-1].r1 == 1000
+    # Explicit tr pins the exact in-memory chunking.
+    assert [
+        (c.r0, c.r1) for c in plan_chunks(1000, n, tr=4, merge_tail=False)
+    ] == [(0, 256), (256, 512), (512, 768), (768, 1000)]
+
+
+# ---------------------------------------------------------------------------
+# Bitwise parity with the in-memory drivers
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("store_kind", ["mmap", "shm"])
+def test_tsqr_ooc_bitwise_parity(store_kind):
+    m, n, tr = 900, 12, 5
+    A = RNG.standard_normal((m, n))
+    f_mem = tsqr(A, tr=tr, tree=TreeKind.FLAT)
+    Amem = np.array(A, order="C")
+    tsqr(Amem, tr=tr, tree=TreeKind.FLAT, overwrite=True)  # in-place reference panel
+    with tsqr_ooc(A, tr=tr, store=store_kind) as f_ooc:
+        np.testing.assert_array_equal(f_mem.R, f_ooc.R)
+        np.testing.assert_array_equal(Amem, f_ooc.panel())
+        x = RNG.standard_normal(m)
+        np.testing.assert_array_equal(f_mem.apply_qt(x), f_ooc.apply_qt(x))
+        np.testing.assert_array_equal(f_mem.apply_q(x), f_ooc.apply_q(x))
+        Q = f_ooc.q_explicit()
+        assert np.allclose(Q @ f_ooc.R, A)
+        assert np.allclose(Q.T @ Q, np.eye(n))
+
+
+@pytest.mark.parametrize("store_kind", ["mmap", "shm"])
+def test_tslu_ooc_bitwise_parity(store_kind):
+    m, n, tr = 900, 12, 5
+    A = RNG.standard_normal((m, n))
+    lu_mem, piv_mem = tslu(A, tr=tr, tree=TreeKind.FLAT)
+    with tslu_ooc(A, tr=tr, store=store_kind) as res:
+        np.testing.assert_array_equal(lu_mem, res.lu())
+        np.testing.assert_array_equal(piv_mem, res.piv)
+        np.testing.assert_array_equal(res.lu_rows(100, 200), lu_mem[100:200])
+
+
+def test_tslu_ooc_binary_tree_matches_in_memory():
+    # The candidate reduction happens in RAM, so any tree is allowed
+    # out of core; parity must hold tree for tree.
+    m, n, tr = 700, 8, 6
+    A = RNG.standard_normal((m, n))
+    lu_mem, piv_mem = tslu(A, tr=tr, tree=TreeKind.BINARY)
+    with tslu_ooc(A, tr=tr, tree=TreeKind.BINARY) as res:
+        np.testing.assert_array_equal(lu_mem, res.lu())
+        np.testing.assert_array_equal(piv_mem, res.piv)
+
+
+def test_driver_store_param_routes_out_of_core():
+    m, n, tr = 600, 10, 4
+    A = RNG.standard_normal((m, n))
+    f_mem = tsqr(A, tr=tr, tree=TreeKind.FLAT)
+    with tsqr(A, tr=tr, store="mmap") as f_ooc:
+        np.testing.assert_array_equal(f_mem.R, f_ooc.R)
+    lu_mem, piv_mem = tslu(A, tr=tr, tree=TreeKind.FLAT)
+    lu_ooc, piv_ooc = tslu(A, tr=tr, tree=TreeKind.FLAT, store="mmap")
+    np.testing.assert_array_equal(lu_mem, lu_ooc)
+    np.testing.assert_array_equal(piv_mem, piv_ooc)
+
+
+def test_driver_store_param_rejects_conflicts():
+    A = RNG.standard_normal((40, 4))
+    with pytest.raises(ValueError, match="executor"):
+        tsqr(A, store="mmap", executor="process")
+    with pytest.raises(ValueError, match="FLAT"):
+        tsqr(A, store="mmap", tree=TreeKind.BINARY)
+    with pytest.raises(ValueError, match="executor"):
+        tslu(A, memory_budget=1 << 20, executor="process")
+
+
+def test_generator_source_never_materializes_panel():
+    m, n = 2000, 6
+
+    def fill(r0, r1):
+        out = np.empty((r1 - r0, n))
+        for i in range(r0, r1):
+            out[i - r0] = np.random.default_rng(1000 + i).standard_normal(n)
+        return out
+
+    with tsqr_ooc(((m, n), fill), memory_budget=40 * n * n * 8) as f:
+        G = np.zeros((n, n))
+        for r0 in range(0, m, 500):
+            blk = fill(r0, r0 + 500)
+            G += blk.T @ blk
+        # R'R = A'A: verifies R without ever holding A.
+        assert np.allclose(f.R.T @ f.R, G)
+
+
+def test_check_finite_during_staging():
+    A = RNG.standard_normal((100, 4))
+    A[63, 2] = np.nan
+    with pytest.raises(ValueError, match="non-finite"):
+        tsqr_ooc(A, tr=2)
+    with pytest.raises(ValueError, match="non-finite"):
+        tslu_ooc(A, tr=2)
+    # Opting out stages the data as-is (and the factorization then
+    # fails loudly in the tournament rather than silently).
+    with pytest.raises(RuntimeError, match="corrupted"):
+        tslu_ooc(A, tr=2, check_finite=False)
+
+
+# ---------------------------------------------------------------------------
+# Direct TSQR
+# ---------------------------------------------------------------------------
+
+
+def test_direct_tsqr_r_only_reads_once():
+    m, n = 1500, 10
+    A = RNG.standard_normal((m, n))
+    with counting() as c:
+        d = direct_tsqr(A, tr=6)
+    assert d.store is None and d.q_spec is None
+    assert c.store_read_bytes == 0 and c.store_write_bytes == 0
+    assert np.allclose(np.abs(d.R), np.abs(np.linalg.qr(A)[1]))
+    with pytest.raises(ValueError, match="without want_q"):
+        d.q_explicit()
+
+
+def test_direct_tsqr_explicit_q():
+    m, n = 1200, 9
+    A = RNG.standard_normal((m, n))
+    with direct_tsqr(A, tr=5, want_q=True) as d:
+        Q = d.q_explicit()
+        assert np.allclose(Q @ d.R, A)
+        assert np.allclose(Q.T @ Q, np.eye(n))
+        np.testing.assert_array_equal(d.q_rows(200, 300), Q[200:300])
+    assert np.array_equal(A, A)  # input untouched
+
+
+def test_direct_tsqr_io_matches_model():
+    m, n = 2000, 8
+    fast = 64 * n * 8  # force streaming in the model
+    assert predicted_panel_io("direct_tsqr", m, n, fast) == m * n
+    assert predicted_panel_io("direct_tsqr_q", m, n, fast) == 4 * m * n
+    with pytest.raises(ValueError, match="unknown"):
+        predicted_panel_io("tape", m, n, fast)
+    A = RNG.standard_normal((m, n))
+    with counting() as c:
+        with direct_tsqr(A, tr=8, want_q=True) as d:
+            d.q_rows(0, 1)
+    # want_q traffic: write Q1 (mn) + read Q1 (mn) + write Q (mn).
+    measured = (c.store_read_bytes + c.store_write_bytes) // 8 - n  # minus q_rows probe
+    assert measured == 3 * m * n
+
+
+# ---------------------------------------------------------------------------
+# Measured traffic vs the I/O model
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algo", ["tsqr", "tslu"])
+def test_streamed_traffic_within_model_bounds(algo):
+    m, n = 4000, 16
+    budget = 8 * n * n * 8  # tiny fast memory: forces many leaf blocks
+    A = RNG.standard_normal((m, n))
+    with counting() as c:
+        if algo == "tsqr":
+            fact = tsqr_ooc(A, memory_budget=budget, n_workers=1)
+        else:
+            fact = tslu_ooc(A, memory_budget=budget, n_workers=1)
+        fact.destroy()
+    measured_words = (c.store_read_bytes + c.store_write_bytes) / 8
+    predicted = panel_io_ca_flat(m, n, budget // 8)
+    assert predicted < 2.0 * m * n * 3  # sanity: model is in streaming regime
+    ratio = measured_words / predicted
+    assert 0.5 <= ratio <= 2.0, f"{algo}: measured/predicted = {ratio:.3f}"
+
+
+# ---------------------------------------------------------------------------
+# Memory-capped subprocess: the panel truly never fits
+# ---------------------------------------------------------------------------
+
+_CAPPED_SCRIPT = textwrap.dedent(
+    """
+    import resource, sys
+    import numpy as np
+    from repro.analysis.io_model import panel_io_ca_flat
+    from repro.core.outofcore import tsqr_ooc, tslu_ooc
+    from repro.counters import counting
+    from repro.kernels.lu import piv_to_perm
+
+    m, n = 320_000, 32
+    budget = 4 << 20          # 4 MiB fast-memory budget for the planner
+    headroom = 64 << 20       # allowance over baseline VSZ (thread stack,
+                              # allocator slack, transient mmap windows)
+    panel_bytes = m * n * 8   # 78 MiB: exceeds the headroom, so the panel
+                              # provably never exists in the address space
+
+    def fill(r0, r1):
+        # Pure function of the absolute row index: strides are aligned
+        # to multiples of `step` so any chunking sees the same rows.
+        out = np.empty((r1 - r0, n))
+        step = 4096
+        s = (r0 // step) * step
+        while s < r1:
+            blk = np.random.default_rng(s).standard_normal((min(step, m - s), n))
+            a0, a1 = max(r0, s), min(r1, s + step)
+            out[a0 - r0 : a1 - r0] = blk[a0 - s : a1 - s]
+            s += step
+        return out
+
+    # Warm up lazy allocations (BLAS buffers, pyc imports), then cap the
+    # address space: from here on, materializing the panel dies.
+    tsqr_ooc(((4 * n, n), fill), tr=2).destroy()
+    with open("/proc/self/statm") as fh:
+        vsz_pages = int(fh.read().split()[0])
+    cap = vsz_pages * resource.getpagesize() + headroom
+    assert panel_bytes > headroom, "panel must not fit in the allowance"
+    resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+
+    with counting() as c:
+        f = tsqr_ooc(((m, n), fill), memory_budget=budget, n_workers=1)
+    # Gram check: R'R == A'A without ever holding A.
+    G = np.zeros((n, n))
+    for r0 in range(0, m, 8192):
+        blk = fill(r0, min(m, r0 + 8192))
+        G += blk.T @ blk
+    assert np.allclose(f.R.T @ f.R, G), "R fails the Gram identity"
+    f.destroy()
+    words = (c.store_read_bytes + c.store_write_bytes) / 8
+    ratio = words / panel_io_ca_flat(m, n, budget // 8)
+    assert 0.5 <= ratio <= 2.0, f"tsqr traffic ratio {ratio:.3f}"
+
+    with counting() as c:
+        lu = tslu_ooc(((m, n), fill), memory_budget=budget, n_workers=1)
+    perm = piv_to_perm(lu.piv, m)
+    U = np.triu(lu.lu_rows(0, n))
+    # Spot-check PA = LU on a window strictly below the pivot block.
+    r0, r1 = 100_000, 100_064
+    Lw = lu.lu_rows(r0, r1)
+    rows = np.empty((r1 - r0, n))
+    for i in range(r0, r1):
+        src = int(perm[i])
+        rows[i - r0] = fill(src, src + 1)[0]
+    assert np.allclose(Lw @ U, rows), "PA != LU on sampled window"
+    lu.destroy()
+    words = (c.store_read_bytes + c.store_write_bytes) / 8
+    ratio = words / panel_io_ca_flat(m, n, budget // 8)
+    assert 0.5 <= ratio <= 2.0, f"tslu traffic ratio {ratio:.3f}"
+    print("CAPPED-OK")
+    """
+)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(sys.platform != "linux", reason="RLIMIT_AS semantics are Linux-specific")
+def test_memory_capped_factorization():
+    """Factor a 78 MiB panel in a child whose address space may grow by
+    at most 192 MiB over baseline: only the streaming path survives."""
+    import os
+
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CAPPED_SCRIPT],
+        capture_output=True,
+        text=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        env=env,
+        timeout=900,
+    )
+    assert proc.returncode == 0, f"capped child failed:\n{proc.stdout}\n{proc.stderr}"
+    assert "CAPPED-OK" in proc.stdout
+
+
+def test_tslu_ooc_piv_semantics():
+    # Same contract as tslu: A[perm] == L @ U.
+    m, n = 300, 6
+    A = RNG.standard_normal((m, n))
+    with tslu_ooc(A, tr=3) as res:
+        lu = res.lu()
+        perm = piv_to_perm(res.piv, m)
+        L = np.tril(lu[:n], -1) + np.eye(n)
+        U = np.triu(lu[:n])
+        full_L = np.vstack([L, lu[n:]])
+        assert np.allclose(full_L @ U, A[perm])

@@ -63,7 +63,15 @@ def test_reset():
 def test_snapshot_keys():
     with counting() as c:
         add_flops(1)
-    assert set(c.snapshot()) == {"flops", "syncs", "words", "comparisons", "roundtrips"}
+    assert set(c.snapshot()) == {
+        "flops",
+        "syncs",
+        "words",
+        "comparisons",
+        "roundtrips",
+        "store_read_bytes",
+        "store_write_bytes",
+    }
 
 
 def test_roundtrip_counter():

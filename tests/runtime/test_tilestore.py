@@ -1,0 +1,157 @@
+"""Tile stores: spec protocol, windowed transfers, byte accounting."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.counters import counting
+from repro.runtime.shm import SharedArena
+from repro.runtime.tilestore import (
+    ArenaTileStore,
+    MmapTileStore,
+    TileStore,
+    attach_array,
+    open_store,
+    spec_nbytes,
+)
+
+
+@pytest.fixture(params=["shm", "mmap"])
+def store(request):
+    s, _ = open_store(request.param)
+    yield s
+    s.destroy()
+
+
+def test_reserve_load_store_roundtrip(store):
+    spec = store.reserve((30, 4))
+    data = np.arange(120, dtype=np.float64).reshape(30, 4)
+    store.store(spec, data)
+    np.testing.assert_array_equal(store.load(spec), data)
+
+
+def test_reserve_reads_as_zeros(store):
+    spec = store.reserve((5, 3))
+    np.testing.assert_array_equal(store.load(spec), np.zeros((5, 3)))
+
+
+def test_sub_window_addressing(store):
+    spec = store.reserve((20, 3))
+    data = np.arange(60, dtype=np.float64).reshape(20, 3)
+    store.store(spec, data)
+    win = TileStore.sub(spec, 7, 13)
+    assert spec_nbytes(win) == 6 * 3 * 8
+    np.testing.assert_array_equal(store.load(win), data[7:13])
+    store.store(win, -data[7:13])
+    np.testing.assert_array_equal(store.load(spec)[7:13], -data[7:13])
+    np.testing.assert_array_equal(store.load(spec)[:7], data[:7])
+
+
+def test_sub_out_of_range(store):
+    spec = store.reserve((4, 4))
+    with pytest.raises(ValueError, match="outside"):
+        TileStore.sub(spec, 2, 5)
+
+
+def test_io_accounting_and_counters(store):
+    spec = store.reserve((16, 4))
+    block = np.ones((16, 4))
+    with counting() as c:
+        store.store(spec, block)
+        store.load(TileStore.sub(spec, 0, 8))
+    assert store.io.write_bytes == 16 * 4 * 8
+    assert store.io.read_bytes == 8 * 4 * 8
+    assert store.io.writes == 1 and store.io.reads == 1
+    assert c.store_write_bytes == store.io.write_bytes
+    assert c.store_read_bytes == store.io.read_bytes
+
+
+def test_load_into_recycled_buffer(store):
+    spec = store.reserve((6, 2))
+    store.store(spec, np.full((6, 2), 3.0))
+    buf = np.empty((6, 2))
+    out = store.load(spec, out=buf)
+    assert out is buf
+    np.testing.assert_array_equal(buf, np.full((6, 2), 3.0))
+    with pytest.raises(ValueError, match="does not match"):
+        store.load(spec, out=np.empty((5, 2)))
+
+
+def test_attach_array_resolves_both_backends(store):
+    # attach_array is what descriptor-dispatched ops use: it must
+    # resolve shm names and absolute spill-file paths alike.
+    spec = store.reserve((9, 3))
+    vals = np.arange(27, dtype=np.float64).reshape(9, 3)
+    store.store(spec, vals)
+    view = attach_array(spec)
+    np.testing.assert_array_equal(view, vals)
+    # Writes through the attached view are visible to store loads
+    # (shared plane, not a private copy).
+    view[0, 0] = 99.0
+    assert store.load(TileStore.sub(spec, 0, 1))[0, 0] == 99.0
+
+
+def test_mmap_spec_of_view_walks_to_root():
+    with MmapTileStore() as s:
+        arr = s.alloc((12, 5))
+        arr[...] = np.arange(60).reshape(12, 5)
+        tail = arr[8:]  # sliced memmap: inherits parent's offset attribute
+        spec = s.spec(tail)
+        assert os.path.isabs(spec[0])
+        np.testing.assert_array_equal(s.load(spec), np.asarray(arr[8:]))
+
+
+def test_mmap_alloc_spans_segments():
+    with MmapTileStore(segment_bytes=1 << 12) as s:
+        specs = [s.reserve((100,)) for _ in range(10)]  # 800 B each
+        for i, sp in enumerate(specs):
+            s.store(sp, np.full(100, float(i)))
+        for i, sp in enumerate(specs):
+            np.testing.assert_array_equal(s.load(sp), np.full(100, float(i)))
+        assert len(s._paths) > 1
+
+
+def test_mmap_destroy_removes_spill_dir():
+    s = MmapTileStore()
+    root = s.root
+    s.reserve((4, 4))
+    assert os.path.isdir(root)
+    s.destroy()
+    assert not os.path.exists(root)
+    with pytest.raises(ValueError, match="destroyed"):
+        s.reserve((2, 2))
+
+
+def test_mmap_sparse_reservation_costs_no_disk():
+    with MmapTileStore() as s:
+        spec = s.reserve((1 << 16, 8))  # 4 MiB reserved
+        path = spec[0]
+        # Sparse file: apparent size is the segment, blocks are ~0.
+        assert os.path.getsize(path) >= 4 << 20
+        assert os.stat(path).st_blocks * 512 < 1 << 20
+        s.store(TileStore.sub(spec, 0, 1024), np.ones((1024, 8)))
+        assert os.stat(path).st_blocks * 512 >= 1024 * 8 * 8
+
+
+def test_open_store_resolution():
+    arena = SharedArena()
+    try:
+        wrapped, owned = open_store(arena)
+        assert isinstance(wrapped, ArenaTileStore) and not owned
+        assert wrapped.arena is arena
+        existing, owned2 = open_store(wrapped)
+        assert existing is wrapped and not owned2
+        with pytest.raises(ValueError, match="unknown tile store"):
+            open_store("tape")
+    finally:
+        arena.destroy()
+
+
+def test_arena_store_zero_copy_view(store):
+    if store.kind != "shm":
+        pytest.skip("arena-backed store only")
+    arr = store.alloc((4, 4))
+    arr[...] = 5.0
+    spec = store.spec(arr)
+    np.testing.assert_array_equal(store.load(spec), arr)
